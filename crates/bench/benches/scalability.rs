@@ -1,0 +1,57 @@
+//! Criterion wrapper over the Figure 8 sweeps (small op counts; the
+//! full parameter sweep lives in the `fig8` binary).
+//!
+//! Run with `cargo bench -p bench --bench scalability`.
+
+use bench::{make_allocator, run_workload, AllocatorKind, Scale, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn scalability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linux-scalability");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for kind in AllocatorKind::all() {
+        for threads in [1usize, 2, 4] {
+            g.bench_function(format!("{}/{}T", kind.label(), threads), |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let alloc = make_allocator(kind, threads.max(2));
+                        let r = run_workload(
+                            Workload::LinuxScalability,
+                            alloc,
+                            threads,
+                            Scale(0.02),
+                        );
+                        total += r.elapsed;
+                    }
+                    total
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn producer_consumer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("producer-consumer");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for kind in AllocatorKind::all() {
+        g.bench_function(format!("{}/3T", kind.label()), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let alloc = make_allocator(kind, 3);
+                    let r =
+                        run_workload(Workload::ProducerConsumer(500), alloc, 3, Scale(0.05));
+                    total += r.elapsed;
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, scalability, producer_consumer);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Regenerates **Figure 8(a–h)**: speedup over contention-free libc
+//! malloc as a function of thread count, for all six benchmarks (the
+//! producer-consumer panels f/g/h differ in the `work` parameter).
+//!
+//! Usage: `fig8 [a|b|c|d|e|f|g|h|all] [--max-threads N] [--scale F]`
+//!
+//! Hardware note (see EXPERIMENTS.md): the paper sweeps 1–16 *physical*
+//! processors; on this machine threads beyond the core count measure
+//! preemption-tolerance rather than parallel speedup — which still
+//! separates the lock-free allocator (immune) from the lock-based ones
+//! (lock-holder preemption stalls).
+
+use bench::table::{fmt_speedup, Table};
+use bench::sweep::run_workload_best;
+use bench::{AllocatorKind, Scale, Workload};
+
+fn main() {
+    let mut panels: Vec<char> = Vec::new();
+    let mut max_threads = 8usize;
+    let mut scale = 0.3f64;
+    let mut reps = 2usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-threads" => {
+                i += 1;
+                max_threads = args[i].parse().expect("--max-threads takes an integer");
+            }
+            "--scale" => {
+                i += 1;
+                scale = args[i].parse().expect("--scale takes a float");
+            }
+            "--reps" => {
+                i += 1;
+                reps = args[i].parse().expect("--reps takes an integer");
+            }
+            "all" => panels.extend('a'..='h'),
+            p if p.len() == 1 && ('a'..='h').contains(&p.chars().next().unwrap()) => {
+                panels.push(p.chars().next().unwrap());
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    if panels.is_empty() {
+        panels.extend('a'..='h');
+    }
+    let scale = Scale(scale);
+
+    for panel in panels {
+        let w = Workload::from_panel(panel).unwrap();
+        println!("\nFigure 8({panel}): {} — speedup over contention-free libc", w.label());
+        let baseline = run_workload_best(w, AllocatorKind::Libc, 1, 1, scale, reps);
+        let mut t = Table::new(["threads", "new", "hoard", "ptmalloc", "libc"]);
+        for threads in 1..=max_threads {
+            let mut cells = vec![threads.to_string()];
+            for kind in AllocatorKind::all() {
+                let r = run_workload_best(w, kind, threads.max(2), threads, scale, reps);
+                cells.push(fmt_speedup(r.speedup_over(&baseline)));
+            }
+            t.row(cells);
+        }
+        println!("{}", t.render());
+    }
+    println!(
+        "shape check vs paper: 'new' >= others at every thread count; libc\n\
+         degrades under contention; ptmalloc trails on larson; hoard trails\n\
+         on producer-consumer."
+    );
+}

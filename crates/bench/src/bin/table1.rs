@@ -1,0 +1,86 @@
+//! Regenerates **Table 1**: "Contention-free speedup over libc malloc"
+//! for Linux scalability, Threadtest, and Larson (one worker thread,
+//! after spawning a dead thread per the paper's footnote 4).
+//!
+//! Usage: `table1 [--scale F]` (default scale 1.0).
+
+use bench::table::{fmt_speedup, Table};
+use bench::sweep::run_workload_best;
+use bench::{AllocatorKind, Scale, Workload};
+
+/// The paper's POWER4 measurements, for side-by-side comparison.
+fn paper_reference(w: Workload) -> (&'static str, &'static str, &'static str) {
+    match w {
+        Workload::LinuxScalability => ("2.75", "1.38", "1.92"),
+        Workload::Threadtest => ("2.35", "1.23", "1.97"),
+        Workload::Larson => ("2.95", "2.37", "2.67"),
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    let mut scale = 1.0f64;
+    let mut reps = 3usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args[i].parse().expect("--scale takes a float");
+            }
+            "--reps" => {
+                i += 1;
+                reps = args[i].parse().expect("--reps takes an integer");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    let scale = Scale(scale);
+
+    println!("Table 1: contention-free speedup over libc malloc (1 thread)");
+    println!("paper columns are the POWER4 measurements for reference\n");
+
+    let workloads = [Workload::LinuxScalability, Workload::Threadtest, Workload::Larson];
+    let mut t = Table::new([
+        "benchmark",
+        "new",
+        "hoard",
+        "ptmalloc",
+        "new(paper)",
+        "hoard(paper)",
+        "pt(paper)",
+        "libc ns/op",
+        "new ns/op",
+    ]);
+    for w in workloads {
+        let baseline = run_workload_best(w, AllocatorKind::Libc, 1, 1, scale, reps);
+        let mut speedups = Vec::new();
+        let mut new_ns = 0.0;
+        for kind in [AllocatorKind::Lf, AllocatorKind::Hoard, AllocatorKind::Ptmalloc] {
+            let r = run_workload_best(w, kind, 1, 1, scale, reps);
+            if kind == AllocatorKind::Lf {
+                new_ns = r.ns_per_op();
+            }
+            speedups.push(r.speedup_over(&baseline));
+        }
+        let (p_new, p_hoard, p_pt) = paper_reference(w);
+        t.row([
+            w.label(),
+            fmt_speedup(speedups[0]),
+            fmt_speedup(speedups[1]),
+            fmt_speedup(speedups[2]),
+            p_new.to_string(),
+            p_hoard.to_string(),
+            p_pt.to_string(),
+            format!("{:.0}", baseline.ns_per_op()),
+            format!("{new_ns:.0}"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "shape check: 'new' should lead every row (paper: lowest contention-free\n\
+         latency among the allocators by significant margins)."
+    );
+}

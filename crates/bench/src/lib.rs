@@ -1,0 +1,24 @@
+//! Benchmark harness regenerating every table and figure of Michael
+//! (PLDI 2004) §4.
+//!
+//! Binaries (see DESIGN.md's experiment index):
+//!
+//! * `table1` — Table 1, contention-free speedup over libc malloc.
+//! * `fig8`   — Figure 8(a–h), speedup vs thread count.
+//! * `space`  — §4.2.5, maximum space used per allocator.
+//! * `ablation` — §4.2.4 uniprocessor optimization (U1), FIFO-vs-LIFO
+//!   partial lists (A1), credit batching (A2).
+//!
+//! Criterion micro-benches `latency` and `scalability` cover the
+//! §4.2.1 latency discussion (including the lock-pair comparison).
+//!
+//! The registry hands out allocators as `Arc<dyn RawMalloc>` so each
+//! workload binary treats all four implementations identically, the way
+//! the paper swaps `malloc` shared libraries under one benchmark binary.
+
+pub mod registry;
+pub mod sweep;
+pub mod table;
+
+pub use registry::{make_allocator, AllocatorKind, DynAlloc};
+pub use sweep::{run_workload, Scale, Workload};

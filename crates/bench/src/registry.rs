@@ -1,0 +1,91 @@
+//! The four allocators under test, behind one dynamic interface.
+
+use dlheap::LockedHeap;
+use hoard::Hoard;
+use lfmalloc::{Config, LfMalloc};
+use malloc_api::RawMalloc;
+use ptmalloc::Ptmalloc;
+use std::sync::Arc;
+
+/// A type-erased allocator handle usable by every workload.
+pub type DynAlloc = Arc<dyn RawMalloc + Send + Sync>;
+
+/// The allocators of §4: "we compare the performance of our allocator
+/// with the default AIX 5.1 libc malloc, and two widely-used
+/// multithread allocators, Hoard and Ptmalloc".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocatorKind {
+    /// The paper's contribution ("New").
+    Lf,
+    /// Hoard-style baseline.
+    Hoard,
+    /// Ptmalloc-style baseline.
+    Ptmalloc,
+    /// Serial heap behind one lock ("libc malloc").
+    Libc,
+}
+
+impl AllocatorKind {
+    /// All four, in the paper's reporting order.
+    pub fn all() -> [AllocatorKind; 4] {
+        [AllocatorKind::Lf, AllocatorKind::Hoard, AllocatorKind::Ptmalloc, AllocatorKind::Libc]
+    }
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AllocatorKind::Lf => "new (lock-free)",
+            AllocatorKind::Hoard => "hoard",
+            AllocatorKind::Ptmalloc => "ptmalloc",
+            AllocatorKind::Libc => "libc (serial)",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<AllocatorKind> {
+        match s {
+            "lf" | "new" | "lfmalloc" => Some(AllocatorKind::Lf),
+            "hoard" => Some(AllocatorKind::Hoard),
+            "ptmalloc" | "pt" => Some(AllocatorKind::Ptmalloc),
+            "libc" | "serial" => Some(AllocatorKind::Libc),
+            _ => None,
+        }
+    }
+}
+
+/// Builds a fresh allocator of `kind` sized for `heaps` "processors"
+/// (ignored where the design has no such knob).
+pub fn make_allocator(kind: AllocatorKind, heaps: usize) -> DynAlloc {
+    match kind {
+        AllocatorKind::Lf => Arc::new(LfMalloc::with_config(Config::with_heaps(heaps))),
+        AllocatorKind::Hoard => Arc::new(Hoard::new(heaps)),
+        AllocatorKind::Ptmalloc => Arc::new(Ptmalloc::new()),
+        AllocatorKind::Libc => Arc::new(LockedHeap::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_builds_and_allocates() {
+        for kind in AllocatorKind::all() {
+            let a = make_allocator(kind, 2);
+            unsafe {
+                let p = a.malloc(64);
+                assert!(!p.is_null(), "{}", kind.label());
+                a.free(p);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        assert_eq!(AllocatorKind::parse("new"), Some(AllocatorKind::Lf));
+        assert_eq!(AllocatorKind::parse("hoard"), Some(AllocatorKind::Hoard));
+        assert_eq!(AllocatorKind::parse("pt"), Some(AllocatorKind::Ptmalloc));
+        assert_eq!(AllocatorKind::parse("libc"), Some(AllocatorKind::Libc));
+        assert_eq!(AllocatorKind::parse("garbage"), None);
+    }
+}

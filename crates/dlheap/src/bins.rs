@@ -1,0 +1,313 @@
+//! Segregated free-list bins with a first-set bitmap.
+//!
+//! Small chunks (< 1 KiB) get exact-size bins at 16-byte granularity;
+//! larger chunks share logarithmic bins (two per power of two) up to
+//! 1 MiB, with one overflow bin above. A bitmap of non-empty bins makes
+//! "smallest chunk ≥ n" searches O(1) + list walk, the structure
+//! dlmalloc calls its bin map.
+
+use crate::chunk::{Chunk, MIN_CHUNK};
+
+/// Exact bins cover `[MIN_CHUNK, SMALL_LIMIT)` at 16-byte steps.
+const SMALL_LIMIT: usize = 1024;
+const SMALL_BINS: usize = (SMALL_LIMIT - MIN_CHUNK) / 16; // 62
+/// Log bins: 2 per octave from 1 KiB to 1 MiB, plus one overflow.
+const LOG_OCTAVES: usize = 10; // 2^10 .. 2^20
+/// Total bin count.
+pub const NBINS: usize = SMALL_BINS + LOG_OCTAVES * 2 + 1; // 83
+
+/// Maps a legal chunk size to its bin index.
+///
+/// # Example
+///
+/// ```
+/// use dlheap::bins::bin_index;
+/// assert_eq!(bin_index(32), 0);
+/// assert_eq!(bin_index(48), 1);
+/// assert!(bin_index(2048) > bin_index(1024));
+/// ```
+#[inline]
+pub fn bin_index(size: usize) -> usize {
+    debug_assert!(size >= MIN_CHUNK && size % 16 == 0);
+    if size < SMALL_LIMIT {
+        (size - MIN_CHUNK) / 16
+    } else if size >= (1 << 20) {
+        NBINS - 1 // overflow bin
+    } else {
+        let log = (usize::BITS - 1 - size.leading_zeros()) as usize; // floor(log2), 10..=19
+        let octave = log - 10;
+        // The bit below the MSB picks the half-octave: keeps the index
+        // monotone in size within and across octaves.
+        let half = (size >> (log - 1)) & 1;
+        SMALL_BINS + octave * 2 + half
+    }
+}
+
+/// The bin array: intrusive doubly-linked lists of free chunks plus a
+/// non-empty bitmap.
+#[derive(Debug)]
+pub struct Bins {
+    heads: [Chunk; NBINS],
+    bitmap: [u64; NBINS.div_ceil(64)],
+}
+
+impl Default for Bins {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bins {
+    /// All bins empty.
+    pub const fn new() -> Self {
+        Bins { heads: [Chunk::null(); NBINS], bitmap: [0; NBINS.div_ceil(64)] }
+    }
+
+    #[inline]
+    fn mark(&mut self, i: usize) {
+        self.bitmap[i / 64] |= 1 << (i % 64);
+    }
+
+    #[inline]
+    fn unmark(&mut self, i: usize) {
+        self.bitmap[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Smallest non-empty bin with index ≥ `from`, if any.
+    #[inline]
+    pub fn first_nonempty_from(&self, from: usize) -> Option<usize> {
+        let mut word = from / 64;
+        let mut mask = !0u64 << (from % 64);
+        while word < self.bitmap.len() {
+            let bits = self.bitmap[word] & mask;
+            if bits != 0 {
+                return Some(word * 64 + bits.trailing_zeros() as usize);
+            }
+            word += 1;
+            mask = !0;
+        }
+        None
+    }
+
+    /// Pushes a free chunk of `size` onto its bin (front).
+    ///
+    /// # Safety
+    ///
+    /// `c` must be a free chunk of `size` bytes owned by the caller and
+    /// absent from every bin.
+    pub unsafe fn insert(&mut self, c: Chunk, size: usize) {
+        let i = bin_index(size);
+        let head = self.heads[i];
+        unsafe {
+            c.set_fd(head);
+            c.set_bk(Chunk::null());
+            if !head.is_null() {
+                head.set_bk(c);
+            }
+        }
+        self.heads[i] = c;
+        self.mark(i);
+    }
+
+    /// Unlinks a specific free chunk of `size` from its bin (used when
+    /// coalescing absorbs a neighbour).
+    ///
+    /// # Safety
+    ///
+    /// `c` must currently be in the bin for `size`.
+    pub unsafe fn unlink(&mut self, c: Chunk, size: usize) {
+        let i = bin_index(size);
+        let (fd, bk) = unsafe { (c.fd(), c.bk()) };
+        if bk.is_null() {
+            debug_assert_eq!(self.heads[i], c, "chunk not at bin head it claims");
+            self.heads[i] = fd;
+        } else {
+            unsafe { bk.set_fd(fd) };
+        }
+        if !fd.is_null() {
+            unsafe { fd.set_bk(bk) };
+        }
+        if self.heads[i].is_null() {
+            self.unmark(i);
+        }
+    }
+
+    /// Removes and returns a free chunk with size ≥ `need`, preferring
+    /// smaller bins (best-fit across bins, first-fit within a bin).
+    /// Returns the chunk and its actual size.
+    ///
+    /// # Safety
+    ///
+    /// Bin contents must be valid free chunks of the owning heap.
+    pub unsafe fn take_fit(&mut self, need: usize) -> Option<(Chunk, usize)> {
+        let mut i = bin_index(need);
+        loop {
+            i = self.first_nonempty_from(i)?;
+            // Within the bin, walk for the first chunk that fits (log
+            // bins mix sizes; exact bins always fit).
+            let mut c = self.heads[i];
+            while !c.is_null() {
+                let size = unsafe { c.size() };
+                if size >= need {
+                    unsafe { self.unlink(c, size) };
+                    return Some((c, size));
+                }
+                c = unsafe { c.fd() };
+            }
+            // Nothing in this bin fits (possible only for log bins);
+            // move up.
+            i += 1;
+            if i >= NBINS {
+                return None;
+            }
+        }
+    }
+
+    /// True if every bin is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bitmap.iter().all(|&w| w == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    // Helper: materialize a fake free chunk in a buffer.
+    struct Arena {
+        _buf: Vec<u8>,
+        cursor: usize,
+        end: usize,
+    }
+
+    impl Arena {
+        fn new(bytes: usize) -> Self {
+            let buf = vec![0u8; bytes + 32];
+            let base = (buf.as_ptr() as usize + 15) & !15;
+            Arena { cursor: base + 8, end: base + bytes, _buf: buf }
+        }
+
+        fn chunk(&mut self, size: usize) -> Chunk {
+            assert!(self.cursor + size <= self.end, "test arena exhausted");
+            let c = Chunk(self.cursor);
+            self.cursor += size;
+            unsafe {
+                c.set_header(size | crate::chunk::PINUSE);
+                c.set_footer(size);
+            }
+            c
+        }
+    }
+
+    #[test]
+    fn bin_index_is_monotone() {
+        let mut last = 0;
+        let mut size = MIN_CHUNK;
+        while size <= 4 << 20 {
+            let i = bin_index(size);
+            assert!(i >= last, "bin_index not monotone at {size}");
+            assert!(i < NBINS);
+            last = i;
+            size += 16;
+        }
+    }
+
+    #[test]
+    fn exact_bins_are_exact() {
+        // Below SMALL_LIMIT, all chunks in one bin share a size.
+        assert_eq!(bin_index(32), bin_index(32));
+        assert_ne!(bin_index(32), bin_index(48));
+        assert_ne!(bin_index(992), bin_index(1008));
+    }
+
+    #[test]
+    fn insert_take_roundtrip() {
+        let mut arena = Arena::new(4096);
+        let mut bins = Bins::new();
+        let c = arena.chunk(64);
+        unsafe {
+            bins.insert(c, 64);
+            assert!(!bins.is_empty());
+            let (got, size) = bins.take_fit(64).unwrap();
+            assert_eq!(got, c);
+            assert_eq!(size, 64);
+            assert!(bins.is_empty());
+            assert!(bins.take_fit(32).is_none());
+        }
+    }
+
+    #[test]
+    fn take_fit_prefers_smallest_adequate() {
+        let mut arena = Arena::new(16384);
+        let mut bins = Bins::new();
+        let big = arena.chunk(512);
+        let small = arena.chunk(64);
+        let tiny = arena.chunk(32);
+        unsafe {
+            bins.insert(big, 512);
+            bins.insert(small, 64);
+            bins.insert(tiny, 32);
+            let (got, size) = bins.take_fit(48).unwrap();
+            assert_eq!(got, small, "should pick 64, not 512");
+            assert_eq!(size, 64);
+        }
+    }
+
+    #[test]
+    fn unlink_from_middle() {
+        let mut arena = Arena::new(4096);
+        let mut bins = Bins::new();
+        let a = arena.chunk(64);
+        let b = arena.chunk(64);
+        let c = arena.chunk(64);
+        unsafe {
+            bins.insert(a, 64);
+            bins.insert(b, 64);
+            bins.insert(c, 64); // list: c -> b -> a
+            bins.unlink(b, 64);
+            let (x, _) = bins.take_fit(64).unwrap();
+            let (y, _) = bins.take_fit(64).unwrap();
+            assert_eq!((x, y), (c, a));
+            assert!(bins.take_fit(64).is_none());
+        }
+    }
+
+    #[test]
+    fn log_bins_fit_across_octaves() {
+        let mut arena = Arena::new(1 << 20);
+        let mut bins = Bins::new();
+        let big = arena.chunk(300_000 & !15);
+        unsafe {
+            bins.insert(big, 300_000 & !15);
+            // A request far below still finds it.
+            let (got, _) = bins.take_fit(2048).unwrap();
+            assert_eq!(got, big);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn every_legal_size_has_a_bin(size in (MIN_CHUNK / 16)..(1usize << 18)) {
+            let size = size * 16;
+            let i = bin_index(size);
+            prop_assert!(i < NBINS);
+        }
+
+        #[test]
+        fn take_fit_never_returns_too_small(sizes in proptest::collection::vec((2usize..64).prop_map(|x| x * 16), 1..20), need_units in 2usize..64) {
+            let need = need_units * 16;
+            let mut arena = Arena::new(1 << 20);
+            let mut bins = Bins::new();
+            for &s in &sizes {
+                let c = arena.chunk(s);
+                unsafe { bins.insert(c, s) };
+            }
+            if let Some((_, got)) = unsafe { bins.take_fit(need) } {
+                prop_assert!(got >= need);
+            } else {
+                prop_assert!(sizes.iter().all(|&s| s < need));
+            }
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Boundary-tag chunks (the dlmalloc memory layout).
+//!
+//! ```text
+//! in-use chunk:  [ header: size|P|C ][ user data ... ]
+//! free chunk:    [ header: size|P   ][ fd ][ bk ][ ... ][ footer: size ]
+//! ```
+//!
+//! * `size` includes the 8-byte header and is a multiple of 16.
+//! * `C` ([`CINUSE`]): this chunk is in use.
+//! * `P` ([`PINUSE`]): the *previous* chunk is in use — set so `free`
+//!   can decide whether to coalesce backward without touching the
+//!   neighbour's interior.
+//! * The footer (a copy of `size` in the chunk's last word) exists only
+//!   while the chunk is free; backward coalescing reads it to find the
+//!   previous chunk's start.
+//! * `M` ([`MMAPPED`]): the block was allocated directly from the OS and
+//!   bypasses the bins entirely.
+//!
+//! Chunks start at addresses ≡ 8 (mod 16) so user pointers are
+//! 16-aligned, exactly as in dlmalloc.
+
+/// This chunk is in use.
+pub const CINUSE: usize = 0b001;
+/// The previous (lower-address) chunk is in use.
+pub const PINUSE: usize = 0b010;
+/// Directly OS-allocated block (not part of any segment).
+pub const MMAPPED: usize = 0b100;
+
+const FLAG_MASK: usize = 0b111;
+
+/// Chunk sizes are multiples of this.
+pub const CHUNK_ALIGN: usize = 16;
+/// Header bytes preceding user data.
+pub const CHUNK_HEADER: usize = 8;
+/// Smallest chunk: header + fd + bk + footer.
+pub const MIN_CHUNK: usize = 32;
+
+/// Raw chunk accessor. A thin unsafe view over a chunk's base address;
+/// all safety obligations sit with the owning heap, which guarantees
+/// addresses point into its segments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Chunk(pub usize);
+
+impl Chunk {
+    /// The user pointer for this chunk.
+    #[inline]
+    pub fn user_ptr(self) -> *mut u8 {
+        (self.0 + CHUNK_HEADER) as *mut u8
+    }
+
+    /// The chunk owning `user` (inverse of [`user_ptr`](Self::user_ptr)).
+    #[inline]
+    pub fn from_user_ptr(user: *mut u8) -> Chunk {
+        Chunk(user as usize - CHUNK_HEADER)
+    }
+
+    /// Reads the raw header word.
+    ///
+    /// # Safety
+    ///
+    /// The chunk must lie in memory owned by the calling heap.
+    #[inline]
+    pub unsafe fn header(self) -> usize {
+        unsafe { *(self.0 as *const usize) }
+    }
+
+    /// Writes the raw header word.
+    ///
+    /// # Safety
+    ///
+    /// As [`header`](Self::header), plus exclusive access.
+    #[inline]
+    pub unsafe fn set_header(self, v: usize) {
+        unsafe { *(self.0 as *mut usize) = v };
+    }
+
+    /// Chunk size in bytes (flags masked off).
+    ///
+    /// # Safety
+    ///
+    /// As [`header`](Self::header).
+    #[inline]
+    pub unsafe fn size(self) -> usize {
+        (unsafe { self.header() }) & !FLAG_MASK
+    }
+
+    /// Whether this chunk is in use.
+    ///
+    /// # Safety
+    ///
+    /// As [`header`](Self::header).
+    #[inline]
+    pub unsafe fn cinuse(self) -> bool {
+        (unsafe { self.header() }) & CINUSE != 0
+    }
+
+    /// Whether the previous chunk is in use.
+    ///
+    /// # Safety
+    ///
+    /// As [`header`](Self::header).
+    #[inline]
+    pub unsafe fn pinuse(self) -> bool {
+        (unsafe { self.header() }) & PINUSE != 0
+    }
+
+    /// Whether this block came straight from the OS.
+    ///
+    /// # Safety
+    ///
+    /// As [`header`](Self::header).
+    #[inline]
+    pub unsafe fn mmapped(self) -> bool {
+        (unsafe { self.header() }) & MMAPPED != 0
+    }
+
+    /// The next (higher-address) chunk.
+    ///
+    /// # Safety
+    ///
+    /// As [`header`](Self::header); the result is valid only within a
+    /// segment (the end sentinel stops traversal).
+    #[inline]
+    pub unsafe fn next(self) -> Chunk {
+        Chunk(self.0 + unsafe { self.size() })
+    }
+
+    /// The previous chunk, via the footer — valid only when `!pinuse()`.
+    ///
+    /// # Safety
+    ///
+    /// The previous chunk must be free (its footer present).
+    #[inline]
+    pub unsafe fn prev(self) -> Chunk {
+        let prev_size = unsafe { *((self.0 - 8) as *const usize) };
+        Chunk(self.0 - prev_size)
+    }
+
+    /// Writes the free-chunk footer (copy of `size` in the last word).
+    ///
+    /// # Safety
+    ///
+    /// Chunk must be free and sized `size`.
+    #[inline]
+    pub unsafe fn set_footer(self, size: usize) {
+        unsafe { *((self.0 + size - 8) as *mut usize) = size };
+    }
+
+    /// Free-list forward link (free chunks only).
+    ///
+    /// # Safety
+    ///
+    /// Chunk must be free and at least [`MIN_CHUNK`] bytes.
+    #[inline]
+    pub unsafe fn fd(self) -> Chunk {
+        Chunk(unsafe { *((self.0 + 8) as *const usize) })
+    }
+
+    /// Sets the forward link.
+    ///
+    /// # Safety
+    ///
+    /// As [`fd`](Self::fd).
+    #[inline]
+    pub unsafe fn set_fd(self, c: Chunk) {
+        unsafe { *((self.0 + 8) as *mut usize) = c.0 };
+    }
+
+    /// Free-list backward link (0 when the chunk is first in its bin).
+    ///
+    /// # Safety
+    ///
+    /// As [`fd`](Self::fd).
+    #[inline]
+    pub unsafe fn bk(self) -> Chunk {
+        Chunk(unsafe { *((self.0 + 16) as *const usize) })
+    }
+
+    /// Sets the backward link.
+    ///
+    /// # Safety
+    ///
+    /// As [`fd`](Self::fd).
+    #[inline]
+    pub unsafe fn set_bk(self, c: Chunk) {
+        unsafe { *((self.0 + 16) as *mut usize) = c.0 };
+    }
+
+    /// True for the null chunk (list terminator).
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The null chunk.
+    #[inline]
+    pub const fn null() -> Chunk {
+        Chunk(0)
+    }
+}
+
+/// Rounds a user request up to a legal chunk size.
+///
+/// # Example
+///
+/// ```
+/// use dlheap::chunk::{request_to_chunk_size, MIN_CHUNK};
+/// assert_eq!(request_to_chunk_size(1), MIN_CHUNK);
+/// assert_eq!(request_to_chunk_size(24), 32);
+/// assert_eq!(request_to_chunk_size(25), 48);
+/// assert_eq!(request_to_chunk_size(100), 112);
+/// ```
+#[inline]
+pub fn request_to_chunk_size(req: usize) -> usize {
+    let raw = req.saturating_add(CHUNK_HEADER);
+    let aligned = (raw + (CHUNK_ALIGN - 1)) & !(CHUNK_ALIGN - 1);
+    aligned.max(MIN_CHUNK)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_flag_roundtrip() {
+        let mut buf = vec![0u8; 128];
+        // Carve a chunk at offset 8 (addresses ≡ 8 mod 16).
+        let base = (buf.as_mut_ptr() as usize + 15) & !15;
+        let c = Chunk(base + 8);
+        unsafe {
+            c.set_header(64 | CINUSE | PINUSE);
+            assert_eq!(c.size(), 64);
+            assert!(c.cinuse());
+            assert!(c.pinuse());
+            assert!(!c.mmapped());
+            assert_eq!(c.next().0, c.0 + 64);
+        }
+        drop(buf);
+    }
+
+    #[test]
+    fn footer_enables_prev() {
+        let mut buf = vec![0u8; 256];
+        let base = (buf.as_mut_ptr() as usize + 15) & !15;
+        let a = Chunk(base + 8);
+        unsafe {
+            a.set_header(64 | PINUSE); // free
+            a.set_footer(64);
+            let b = a.next();
+            b.set_header(32 | CINUSE); // in use, pinuse clear
+            assert!(!b.pinuse());
+            assert_eq!(b.prev(), a);
+        }
+        drop(buf);
+    }
+
+    #[test]
+    fn links_roundtrip() {
+        let mut buf = vec![0u8; 128];
+        let base = (buf.as_mut_ptr() as usize + 15) & !15;
+        let c = Chunk(base + 8);
+        unsafe {
+            c.set_header(MIN_CHUNK | PINUSE);
+            c.set_fd(Chunk(0x100));
+            c.set_bk(Chunk(0x200));
+            assert_eq!(c.fd().0, 0x100);
+            assert_eq!(c.bk().0, 0x200);
+        }
+        drop(buf);
+    }
+
+    #[test]
+    fn user_ptr_roundtrip_and_alignment() {
+        let c = Chunk(0x1008);
+        let u = c.user_ptr();
+        assert_eq!(u as usize, 0x1010);
+        assert_eq!(u as usize % 16, 0, "user pointers are 16-aligned");
+        assert_eq!(Chunk::from_user_ptr(u), c);
+    }
+
+    #[test]
+    fn request_rounding_honors_min_and_align() {
+        assert_eq!(request_to_chunk_size(0), MIN_CHUNK);
+        for req in 1..500 {
+            let sz = request_to_chunk_size(req);
+            assert!(sz >= req + CHUNK_HEADER);
+            assert_eq!(sz % CHUNK_ALIGN, 0);
+            assert!(sz >= MIN_CHUNK);
+        }
+    }
+}

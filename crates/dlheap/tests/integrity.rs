@@ -1,0 +1,132 @@
+//! Property tests: the boundary-tag invariants survive arbitrary
+//! malloc/free interleavings.
+
+use dlheap::heap::HeapReport;
+use dlheap::{LockedHeap, SerialHeap};
+use malloc_api::testkit::TestRng;
+use malloc_api::RawMalloc;
+use osmem::{CountingSource, SystemSource};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn fresh() -> SerialHeap<CountingSource<SystemSource>> {
+    SerialHeap::new(Arc::new(CountingSource::new(SystemSource::new())))
+}
+
+#[test]
+fn empty_heap_reports_nothing() {
+    let h = fresh();
+    assert_eq!(h.check_integrity(), HeapReport::default());
+}
+
+#[test]
+fn integrity_after_full_free_shows_one_chunk_per_segment() {
+    let mut h = fresh();
+    unsafe {
+        let blocks: Vec<*mut u8> = (0..500).map(|_| h.malloc(700)).collect();
+        for p in blocks {
+            h.free(p);
+        }
+    }
+    let r = h.check_integrity();
+    assert_eq!(r.in_use_chunks, 0);
+    assert_eq!(
+        r.free_chunks, r.segments,
+        "full coalescing must leave exactly one free chunk per segment"
+    );
+}
+
+#[test]
+fn integrity_under_random_churn() {
+    let mut h = fresh();
+    let mut rng = TestRng::new(0xD1);
+    let mut live: Vec<(*mut u8, usize)> = Vec::new();
+    unsafe {
+        for step in 0..5_000 {
+            if !live.is_empty() && (live.len() > 80 || rng.range(0, 2) == 0) {
+                let i = rng.range(0, live.len());
+                let (p, _) = live.swap_remove(i);
+                h.free(p);
+            } else {
+                let sz = rng.range(1, 3_000);
+                let p = h.malloc(sz);
+                assert!(!p.is_null());
+                live.push((p, sz));
+            }
+            if step % 500 == 0 {
+                let r = h.check_integrity();
+                assert_eq!(r.in_use_chunks, live.len());
+            }
+        }
+        let r = h.check_integrity();
+        assert_eq!(r.in_use_chunks, live.len());
+        for (p, _) in live {
+            h.free(p);
+        }
+    }
+    assert_eq!(h.check_integrity().in_use_chunks, 0);
+}
+
+#[test]
+fn locked_heap_integrity_after_concurrent_churn() {
+    let a = Arc::new(LockedHeap::new());
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let a = Arc::clone(&a);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = TestRng::new(t + 1);
+            let mut live = Vec::new();
+            for _ in 0..3_000 {
+                unsafe {
+                    if !live.is_empty() && rng.range(0, 2) == 0 {
+                        let i = rng.range(0, live.len());
+                        a.free(live.swap_remove(i));
+                    } else {
+                        live.push(a.malloc(rng.range(1, 1_000)));
+                    }
+                }
+            }
+            for p in live {
+                unsafe { a.free(p) };
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let r = a.check_integrity();
+    assert_eq!(r.in_use_chunks, 0, "all blocks freed; report: {r:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn invariants_hold_for_random_programs(ops in proptest::collection::vec((0usize..3, 1usize..4_096), 1..400)) {
+        let mut h = fresh();
+        let mut live: Vec<*mut u8> = Vec::new();
+        unsafe {
+            for (op, sz) in ops {
+                match op {
+                    0 | 1 => {
+                        let p = h.malloc(sz);
+                        prop_assert!(!p.is_null());
+                        live.push(p);
+                    }
+                    _ => {
+                        if !live.is_empty() {
+                            let p = live.swap_remove(sz % live.len());
+                            h.free(p);
+                        }
+                    }
+                }
+            }
+            let r = h.check_integrity();
+            prop_assert_eq!(r.in_use_chunks, live.len());
+            for p in live {
+                h.free(p);
+            }
+            prop_assert_eq!(h.check_integrity().in_use_chunks, 0);
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! Hazard pointers: safe memory reclamation and ABA prevention for
+//! lock-free data structures.
+//!
+//! This is an implementation of Michael's hazard-pointer methodology
+//! (PODC 2002 / IEEE TPDS 2004), which the PLDI 2004 allocator paper uses
+//! for its descriptor free list ("SafeCAS", §3.2.5) and for the
+//! Michael–Scott FIFO queues backing the size-class partial lists
+//! (§3.2.6).
+//!
+//! # How it works
+//!
+//! Each participating thread owns a *record* holding a small, fixed
+//! number of single-writer/multi-reader *hazard slots*. Before a thread
+//! dereferences a shared node it publishes the node's address in one of
+//! its slots and re-validates the source pointer; from that point until
+//! the slot is cleared, no other thread may reuse or free that node.
+//! Removed nodes are *retired* rather than freed; each thread's retired
+//! set is periodically *scanned* against all published hazards, and only
+//! nodes not protected by any hazard are handed to their reclamation
+//! function.
+//!
+//! Reclamation here is a caller-supplied function pointer plus context
+//! (not a closure), so reclaiming can mean "push back onto the
+//! allocator's descriptor free list" — which is exactly how the PLDI 2004
+//! allocator recycles descriptors without ABA.
+//!
+//! # Allocator-reentrancy discipline
+//!
+//! This crate is used *inside* a memory allocator that may be installed
+//! as the Rust global allocator, so none of its internal bookkeeping may
+//! allocate through the global allocator. All internal storage comes
+//! from [`sysvec::SysVec`], which calls `std::alloc::System` directly.
+//!
+//! # Example
+//!
+//! ```
+//! use hazard::{HazardDomain, Slot};
+//! use std::sync::atomic::{AtomicPtr, Ordering};
+//!
+//! let domain = HazardDomain::new();
+//! let node = Box::into_raw(Box::new(42u64));
+//! let shared = AtomicPtr::new(node);
+//!
+//! // Reader: protect before dereferencing.
+//! let p = domain.protect(Slot(0), &shared);
+//! assert_eq!(unsafe { *p }, 42);
+//! domain.clear(Slot(0));
+//!
+//! // Remover: detach, then retire with a reclamation function.
+//! let detached = shared.swap(std::ptr::null_mut(), Ordering::AcqRel);
+//! unsafe fn reclaim(_ctx: *mut u8, p: *mut u8) {
+//!     drop(unsafe { Box::from_raw(p as *mut u64) });
+//! }
+//! unsafe { domain.retire(detached as *mut u8, std::ptr::null_mut(), reclaim) };
+//! drop(domain); // flushes all retired nodes
+//! ```
+
+pub mod record;
+pub mod sysvec;
+
+use core::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use record::Record;
+use sysvec::SysVec;
+
+/// Number of hazard slots per thread record.
+///
+/// The allocator needs one slot (descriptor free-list pop); the
+/// Michael–Scott queue needs three live at once (head, tail, next). Four
+/// leaves one spare for composed structures.
+pub const SLOTS_PER_RECORD: usize = 4;
+
+/// Retire this many nodes between scans of the hazard slots.
+///
+/// Must comfortably exceed the expected number of published hazards so
+/// each scan reclaims a constant fraction of the retired set (amortized
+/// O(1) per retire).
+pub const SCAN_THRESHOLD: usize = 64;
+
+/// Index of a hazard slot within the calling thread's record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Slot(pub usize);
+
+/// A node awaiting reclamation: address + context + reclamation function.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Retired {
+    pub ptr: *mut u8,
+    pub ctx: *mut u8,
+    pub reclaim: unsafe fn(*mut u8, *mut u8),
+}
+
+// Retired nodes move between threads only inside the domain's records,
+// which serialize ownership; the raw pointers are inert data here.
+unsafe impl Send for Retired {}
+
+static NEXT_DOMAIN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A reclamation domain: one set of hazard slots plus retired lists.
+///
+/// Distinct lock-free structures may share a domain (slots are
+/// per-thread, not per-structure) as long as they never need more than
+/// [`SLOTS_PER_RECORD`] simultaneous protections per thread.
+///
+/// Dropping the domain reclaims every retired node unconditionally — by
+/// then no thread may hold references into the protected structures
+/// (enforced by the usual `&self` borrow discipline of the owner).
+#[derive(Debug)]
+pub struct HazardDomain {
+    /// Unique id used to validate thread-local record caches across
+    /// domain creation/destruction cycles.
+    id: u64,
+    /// Head of the append-only list of records (never shrinks until drop).
+    head: AtomicPtr<Record>,
+}
+
+unsafe impl Send for HazardDomain {}
+unsafe impl Sync for HazardDomain {}
+
+impl Default for HazardDomain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HazardDomain {
+    /// Creates an empty domain.
+    pub fn new() -> Self {
+        HazardDomain {
+            id: NEXT_DOMAIN_ID.fetch_add(1, Ordering::Relaxed),
+            head: AtomicPtr::new(core::ptr::null_mut()),
+        }
+    }
+
+    /// Publishes `src`'s current value in slot `slot` and returns it once
+    /// the publication is guaranteed visible before any re-read of `src`.
+    ///
+    /// Loops until the value read from `src` is stable across the
+    /// publication (the standard hazard-pointer validation handshake).
+    /// The returned pointer (if non-null) is safe to dereference until
+    /// [`clear`](Self::clear) or a subsequent `protect`/[`set`](Self::set)
+    /// on the same slot.
+    pub fn protect<T>(&self, slot: Slot, src: &AtomicPtr<T>) -> *mut T {
+        self.with_record(|rec| {
+            let mut p = src.load(Ordering::Acquire);
+            loop {
+                rec.hazards[slot.0].store(p as *mut u8, Ordering::SeqCst);
+                let q = src.load(Ordering::Acquire);
+                if q == p {
+                    return p;
+                }
+                p = q;
+            }
+        })
+    }
+
+    /// Publishes an already-loaded pointer in slot `slot` *without*
+    /// validation. The caller must re-validate the source afterwards
+    /// (used by algorithms that validate with a tag or a second load).
+    pub fn set<T>(&self, slot: Slot, ptr: *mut T) {
+        self.with_record(|rec| rec.hazards[slot.0].store(ptr as *mut u8, Ordering::SeqCst));
+    }
+
+    /// Clears slot `slot`, allowing the previously protected node to be
+    /// reclaimed by future scans.
+    pub fn clear(&self, slot: Slot) {
+        self.with_record(|rec| {
+            rec.hazards[slot.0].store(core::ptr::null_mut(), Ordering::Release)
+        });
+    }
+
+    /// Clears every slot of the calling thread's record.
+    pub fn clear_all(&self) {
+        self.with_record(|rec| {
+            for h in &rec.hazards {
+                h.store(core::ptr::null_mut(), Ordering::Release);
+            }
+        });
+    }
+
+    /// Hands a detached node to the domain for deferred reclamation.
+    ///
+    /// `reclaim(ctx, ptr)` runs once no hazard slot holds `ptr`; it may
+    /// free the node or recycle it (e.g. push it back on a free list —
+    /// the PLDI 2004 descriptor pattern).
+    ///
+    /// # Safety
+    ///
+    /// * `ptr` must have been removed from every shared structure in this
+    ///   domain, so no *new* protections of it can be created.
+    /// * `reclaim` must be safe to call with (`ctx`, `ptr`) at any later
+    ///   time on any thread, including during domain drop.
+    pub unsafe fn retire(&self, ptr: *mut u8, ctx: *mut u8, reclaim: unsafe fn(*mut u8, *mut u8)) {
+        self.with_record(|rec| {
+            let len = rec.push_retired(Retired { ptr, ctx, reclaim });
+            if len >= SCAN_THRESHOLD {
+                self.scan(rec);
+            }
+        });
+    }
+
+    /// Attempts to reclaim the calling thread's retired nodes now.
+    ///
+    /// Nodes still protected by some hazard stay retired.
+    pub fn flush(&self) {
+        self.with_record(|rec| self.scan(rec));
+    }
+
+    /// Number of records ever created in this domain (diagnostics).
+    pub fn record_count(&self) -> usize {
+        let mut n = 0;
+        let mut p = self.head.load(Ordering::Acquire);
+        while !p.is_null() {
+            n += 1;
+            p = unsafe { (*p).next };
+        }
+        n
+    }
+
+    /// Total retired-but-unreclaimed nodes across all records
+    /// (diagnostics; racy snapshot).
+    pub fn retired_count(&self) -> usize {
+        let mut n = 0;
+        let mut p = self.head.load(Ordering::Acquire);
+        while !p.is_null() {
+            n += unsafe { (*p).retired_len() };
+            p = unsafe { (*p).next };
+        }
+        n
+    }
+
+    /// Runs `f` with the calling thread's record, acquiring one (from the
+    /// thread-local cache, an inactive record, or a fresh allocation) as
+    /// needed. Falls back to a transient acquire/release pair when the
+    /// thread-local key is unavailable (thread teardown).
+    fn with_record<R>(&self, f: impl FnOnce(&Record) -> R) -> R {
+        if let Some(rec) = record::cached_record(self) {
+            return f(unsafe { &*rec });
+        }
+        // TLS unavailable (e.g. global allocator called during thread
+        // destruction): acquire a record just for this operation.
+        let rec = record::acquire_record(self);
+        let out = f(unsafe { &*rec });
+        unsafe { (*rec).deactivate() };
+        out
+    }
+
+    /// Partitions `rec`'s retired list against the union of all hazard
+    /// slots; reclaims the unprotected ones.
+    fn scan(&self, rec: &Record) {
+        // Stage 1: snapshot all published hazards.
+        let mut hazards: SysVec<usize> = SysVec::new();
+        let mut p = self.head.load(Ordering::Acquire);
+        while !p.is_null() {
+            let r = unsafe { &*p };
+            for h in &r.hazards {
+                let v = h.load(Ordering::SeqCst) as usize;
+                if v != 0 {
+                    hazards.push(v);
+                }
+            }
+            p = r.next;
+        }
+        hazards.sort_unstable();
+        // Stage 2: reclaim retired nodes not in the hazard snapshot.
+        let mut retired = rec.take_retired();
+        let mut kept: SysVec<Retired> = SysVec::new();
+        while let Some(node) = retired.pop() {
+            if hazards.binary_search(&(node.ptr as usize)) {
+                kept.push(node);
+            } else {
+                unsafe { (node.reclaim)(node.ctx, node.ptr) };
+            }
+        }
+        rec.put_retired(kept);
+    }
+
+    pub(crate) fn domain_id(&self) -> u64 {
+        self.id
+    }
+
+    pub(crate) fn record_head(&self) -> &AtomicPtr<Record> {
+        &self.head
+    }
+}
+
+impl Drop for HazardDomain {
+    fn drop(&mut self) {
+        // Exclusive access: no thread can be inside protect/retire now,
+        // so every retired node is reclaimable. The record shells
+        // themselves are intentionally leaked — thread-local caches may
+        // still point at them (see `record` module docs).
+        let mut p = *self.head.get_mut();
+        while !p.is_null() {
+            let rec = unsafe { &*p };
+            let next = rec.next;
+            let mut retired = rec.take_retired();
+            while let Some(node) = retired.pop() {
+                unsafe { (node.reclaim)(node.ctx, node.ptr) };
+            }
+            p = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    static RECLAIMED: AtomicUsize = AtomicUsize::new(0);
+
+    unsafe fn count_reclaim(_ctx: *mut u8, p: *mut u8) {
+        RECLAIMED.fetch_add(1, Ordering::SeqCst);
+        drop(unsafe { Box::from_raw(p as *mut u64) });
+    }
+
+    #[test]
+    fn protect_returns_current_value() {
+        let d = HazardDomain::new();
+        let n = Box::into_raw(Box::new(7u64));
+        let a = AtomicPtr::new(n);
+        let p = d.protect(Slot(0), &a);
+        assert_eq!(p, n);
+        assert_eq!(unsafe { *p }, 7);
+        d.clear(Slot(0));
+        unsafe { drop(Box::from_raw(n)) };
+    }
+
+    #[test]
+    fn protected_node_is_not_reclaimed_until_cleared() {
+        let d = HazardDomain::new();
+        let n = Box::into_raw(Box::new(1u64));
+        let a = AtomicPtr::new(n);
+        let p = d.protect(Slot(0), &a);
+        assert!(!p.is_null());
+
+        let before = RECLAIMED.load(Ordering::SeqCst);
+        unsafe { d.retire(n as *mut u8, core::ptr::null_mut(), count_reclaim) };
+        d.flush();
+        // Still protected: not reclaimed.
+        assert_eq!(RECLAIMED.load(Ordering::SeqCst), before);
+
+        d.clear(Slot(0));
+        d.flush();
+        assert_eq!(RECLAIMED.load(Ordering::SeqCst), before + 1);
+    }
+
+    #[test]
+    fn drop_reclaims_everything() {
+        let d = HazardDomain::new();
+        let before = RECLAIMED.load(Ordering::SeqCst);
+        for _ in 0..10 {
+            let n = Box::into_raw(Box::new(0u64));
+            unsafe { d.retire(n as *mut u8, core::ptr::null_mut(), count_reclaim) };
+        }
+        drop(d);
+        assert!(RECLAIMED.load(Ordering::SeqCst) >= before + 10);
+    }
+
+    #[test]
+    fn scan_threshold_triggers_reclamation() {
+        let d = HazardDomain::new();
+        let before = RECLAIMED.load(Ordering::SeqCst);
+        for _ in 0..(SCAN_THRESHOLD + 8) {
+            let n = Box::into_raw(Box::new(0u64));
+            unsafe { d.retire(n as *mut u8, core::ptr::null_mut(), count_reclaim) };
+        }
+        // At least one automatic scan must have fired.
+        assert!(RECLAIMED.load(Ordering::SeqCst) > before);
+        drop(d);
+    }
+
+    #[test]
+    fn records_are_reused_across_domains_per_thread() {
+        let d1 = HazardDomain::new();
+        d1.set(Slot(0), 0x10 as *mut u8);
+        d1.clear(Slot(0));
+        assert_eq!(d1.record_count(), 1);
+        drop(d1);
+        let d2 = HazardDomain::new();
+        d2.set(Slot(0), 0x20 as *mut u8);
+        d2.clear(Slot(0));
+        assert_eq!(d2.record_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_protect_retire_stress() {
+        // Writers repeatedly swap in new nodes and retire the old ones;
+        // readers protect and dereference. Any premature reclamation
+        // shows up as a read of freed memory under tools, and as a
+        // canary mismatch here.
+        const ITERS: usize = 2_000;
+        let d = Arc::new(HazardDomain::new());
+        let shared = Arc::new(AtomicPtr::new(Box::into_raw(Box::new(0xABCDu64))));
+
+        unsafe fn free_u64(_ctx: *mut u8, p: *mut u8) {
+            drop(unsafe { Box::from_raw(p as *mut u64) });
+        }
+
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let d = Arc::clone(&d);
+            let shared = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..ITERS {
+                    let new = Box::into_raw(Box::new(0xABCDu64 + (i as u64 % 3)));
+                    let old = shared.swap(new, Ordering::AcqRel);
+                    unsafe { d.retire(old as *mut u8, core::ptr::null_mut(), free_u64) };
+                }
+            }));
+        }
+        for _ in 0..2 {
+            let d = Arc::clone(&d);
+            let shared = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..ITERS {
+                    let p = d.protect(Slot(1), &shared);
+                    if !p.is_null() {
+                        let v = unsafe { *p };
+                        assert!((0xABCD..=0xABCF).contains(&v), "read {v:#x} from freed node");
+                    }
+                    d.clear(Slot(1));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let last = shared.load(Ordering::Acquire);
+        unsafe { drop(Box::from_raw(last)) };
+    }
+}

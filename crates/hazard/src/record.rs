@@ -1,0 +1,230 @@
+//! Per-thread hazard records and their thread-local cache.
+//!
+//! A [`Record`] holds one thread's hazard slots and retired list for one
+//! [`HazardDomain`](crate::HazardDomain). Records are allocated from the
+//! system allocator, linked into the domain's append-only list, and
+//! handed out to threads via a try-lock (`active`) flag so a record freed
+//! up by a finished thread is adopted — retired list included — by the
+//! next thread that needs one (Michael's scheme for thread-count
+//! independence).
+//!
+//! Records are **never deallocated**: when a domain is dropped its
+//! records are drained and leaked. This keeps thread-local caches (which
+//! may outlive the domain) pointing at valid memory, at the cost of a few
+//! hundred bytes per (domain × thread) — the same trade the PLDI 2004
+//! paper makes for superblock descriptors, which "are not reused as
+//! regular blocks and cannot be returned to the OS".
+
+use crate::sysvec::SysVec;
+use crate::{HazardDomain, Retired, SLOTS_PER_RECORD};
+use core::cell::UnsafeCell;
+use core::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::RefCell;
+
+/// One thread's hazard slots + retired list within one domain.
+#[repr(C)]
+#[derive(Debug)]
+pub(crate) struct Record {
+    /// Published hazard pointers; single writer (owning thread), many
+    /// readers (scanning threads).
+    pub hazards: [AtomicPtr<u8>; SLOTS_PER_RECORD],
+    /// Next record in the domain's append-only list (immutable once
+    /// linked).
+    pub next: *mut Record,
+    /// Try-lock: true while some thread owns this record.
+    active: AtomicBool,
+    /// Nodes retired by the owning thread, awaiting scan. Only the owner
+    /// touches this, which is what makes the `UnsafeCell` sound.
+    retired: UnsafeCell<SysVec<Retired>>,
+}
+
+unsafe impl Send for Record {}
+unsafe impl Sync for Record {}
+
+impl Record {
+    /// Takes the retired list out (owner thread only).
+    pub fn take_retired(&self) -> SysVec<Retired> {
+        unsafe { core::mem::take(&mut *self.retired.get()) }
+    }
+
+    /// Puts a retired list back (owner thread only).
+    pub fn put_retired(&self, v: SysVec<Retired>) {
+        unsafe { *self.retired.get() = v };
+    }
+
+    /// Appends one retired node and reports the new length (owner only).
+    pub fn push_retired(&self, r: Retired) -> usize {
+        unsafe {
+            let v = &mut *self.retired.get();
+            v.push(r);
+            v.len()
+        }
+    }
+
+    /// Racy length snapshot for diagnostics.
+    pub fn retired_len(&self) -> usize {
+        unsafe { (*self.retired.get()).len() }
+    }
+
+    /// Releases ownership so another thread can adopt this record.
+    pub unsafe fn deactivate(&self) {
+        for h in &self.hazards {
+            h.store(core::ptr::null_mut(), Ordering::Release);
+        }
+        self.active.store(false, Ordering::Release);
+    }
+}
+
+/// Acquires a record in `domain` for the calling thread: first tries to
+/// adopt an inactive record, then allocates and links a fresh one.
+pub(crate) fn acquire_record(domain: &HazardDomain) -> *mut Record {
+    // Pass 1: adopt an inactive record.
+    let mut p = domain.record_head().load(Ordering::Acquire);
+    while !p.is_null() {
+        let rec = unsafe { &*p };
+        if !rec.active.load(Ordering::Relaxed)
+            && rec
+                .active
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+        {
+            return p;
+        }
+        p = rec.next;
+    }
+    // Pass 2: allocate and push a fresh record.
+    let layout = Layout::new::<Record>();
+    let raw = unsafe { System.alloc(layout) } as *mut Record;
+    assert!(!raw.is_null(), "hazard: record allocation failed");
+    unsafe {
+        raw.write(Record {
+            hazards: Default::default(),
+            next: core::ptr::null_mut(),
+            active: AtomicBool::new(true),
+            retired: UnsafeCell::new(SysVec::new()),
+        });
+    }
+    let head = domain.record_head();
+    let mut cur = head.load(Ordering::Acquire);
+    loop {
+        unsafe { (*raw).next = cur };
+        match head.compare_exchange_weak(cur, raw, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return raw,
+            Err(observed) => cur = observed,
+        }
+    }
+}
+
+/// Frees a record's memory. Only safe from `HazardDomain::drop` — and we
+/// deliberately do *not* call it there (records leak; see module docs).
+/// Kept for completeness and unit tests of record layout.
+#[allow(dead_code)]
+pub(crate) unsafe fn free_record(p: *mut Record) {
+    unsafe {
+        core::ptr::drop_in_place(p);
+        System.dealloc(p as *mut u8, Layout::new::<Record>());
+    }
+}
+
+/// One thread's cached (domain id → record) associations.
+struct TlsCache {
+    entries: SysVec<(u64, usize)>,
+}
+
+impl Drop for TlsCache {
+    fn drop(&mut self) {
+        // Records are never freed, so these pointers are always valid;
+        // release them for adoption by other threads.
+        while let Some((_id, rec)) = self.entries.pop() {
+            unsafe { (*(rec as *mut Record)).deactivate() };
+        }
+    }
+}
+
+thread_local! {
+    static CACHE: RefCell<TlsCache> = const { RefCell::new(TlsCache { entries: SysVec::new() }) };
+}
+
+/// Returns the calling thread's record for `domain`, acquiring and
+/// caching one on first use. `None` when thread-local storage is
+/// unavailable (thread teardown) — callers fall back to a transient
+/// acquire/release.
+pub(crate) fn cached_record(domain: &HazardDomain) -> Option<*mut Record> {
+    CACHE
+        .try_with(|cell| {
+            let mut cache = cell.borrow_mut();
+            let id = domain.domain_id();
+            for i in 0..cache.entries.len() {
+                let (eid, rec) = cache.entries.get(i).unwrap();
+                if eid == id {
+                    return rec as *mut Record;
+                }
+            }
+            let rec = acquire_record(domain);
+            cache.entries.push((id, rec as usize));
+            rec
+        })
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_creates_then_adopts() {
+        let d = HazardDomain::new();
+        let r1 = acquire_record(&d);
+        assert_eq!(d.record_count(), 1);
+        unsafe { (*r1).deactivate() };
+        let r2 = acquire_record(&d);
+        assert_eq!(r2, r1, "inactive record should be adopted, not reallocated");
+        assert_eq!(d.record_count(), 1);
+        unsafe { (*r2).deactivate() };
+    }
+
+    #[test]
+    fn active_record_is_not_adopted() {
+        let d = HazardDomain::new();
+        let r1 = acquire_record(&d);
+        let r2 = acquire_record(&d);
+        assert_ne!(r1, r2);
+        assert_eq!(d.record_count(), 2);
+        unsafe {
+            (*r1).deactivate();
+            (*r2).deactivate();
+        }
+    }
+
+    #[test]
+    fn retired_list_survives_adoption() {
+        unsafe fn nop(_c: *mut u8, _p: *mut u8) {}
+        let d = HazardDomain::new();
+        let r1 = acquire_record(&d);
+        unsafe {
+            (*r1).push_retired(Retired {
+                ptr: 0x1000 as *mut u8,
+                ctx: core::ptr::null_mut(),
+                reclaim: nop,
+            });
+            (*r1).deactivate();
+        }
+        let r2 = acquire_record(&d);
+        assert_eq!(r2, r1);
+        assert_eq!(unsafe { (*r2).retired_len() }, 1);
+        // Drain so domain drop doesn't "reclaim" the fake pointer.
+        let _ = unsafe { (*r2).take_retired() };
+        unsafe { (*r2).deactivate() };
+    }
+
+    #[test]
+    fn hazards_start_null() {
+        let d = HazardDomain::new();
+        let r = acquire_record(&d);
+        for h in unsafe { &(*r).hazards } {
+            assert!(h.load(Ordering::SeqCst).is_null());
+        }
+        unsafe { (*r).deactivate() };
+    }
+}

@@ -1,0 +1,194 @@
+//! A growable array backed directly by `std::alloc::System`.
+//!
+//! The hazard-pointer machinery runs inside a memory allocator that may
+//! itself be the Rust global allocator, so it must never allocate through
+//! `Box`/`Vec` (that would recurse into the allocator being built).
+//! [`SysVec`] is the minimal `Vec` replacement used for hazard snapshots
+//! and retired lists; it restricts `T: Copy` so dropping never needs to
+//! run element destructors.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+/// A `Vec<T>`-like growable buffer allocated from the *system* allocator,
+/// immune to global-allocator reentrancy.
+#[derive(Debug)]
+pub struct SysVec<T: Copy> {
+    ptr: *mut T,
+    len: usize,
+    cap: usize,
+}
+
+unsafe impl<T: Copy + Send> Send for SysVec<T> {}
+
+impl<T: Copy> Default for SysVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy> SysVec<T> {
+    /// Creates an empty vector without allocating.
+    pub const fn new() -> Self {
+        SysVec { ptr: core::ptr::null_mut(), len: 0, cap: 0 }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends `value`, growing geometrically when full.
+    pub fn push(&mut self, value: T) {
+        if self.len == self.cap {
+            self.grow();
+        }
+        unsafe { self.ptr.add(self.len).write(value) };
+        self.len += 1;
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            None
+        } else {
+            self.len -= 1;
+            Some(unsafe { self.ptr.add(self.len).read() })
+        }
+    }
+
+    /// Returns element `i`, if in bounds.
+    pub fn get(&self, i: usize) -> Option<T> {
+        if i < self.len {
+            Some(unsafe { self.ptr.add(i).read() })
+        } else {
+            None
+        }
+    }
+
+    /// Removes all elements (capacity is retained).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// View of the elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        if self.len == 0 {
+            &[]
+        } else {
+            unsafe { core::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.len == 0 {
+            &mut []
+        } else {
+            unsafe { core::slice::from_raw_parts_mut(self.ptr, self.len) }
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = if self.cap == 0 { 16 } else { self.cap * 2 };
+        let new_layout = Layout::array::<T>(new_cap).expect("SysVec capacity overflow");
+        let new_ptr = unsafe {
+            if self.cap == 0 {
+                System.alloc(new_layout)
+            } else {
+                let old_layout = Layout::array::<T>(self.cap).unwrap();
+                System.realloc(self.ptr as *mut u8, old_layout, new_layout.size())
+            }
+        } as *mut T;
+        assert!(!new_ptr.is_null(), "SysVec: system allocation failed");
+        self.ptr = new_ptr;
+        self.cap = new_cap;
+    }
+}
+
+impl<T: Copy + Ord> SysVec<T> {
+    /// Sorts the elements (unstable, in place).
+    pub fn sort_unstable(&mut self) {
+        self.as_mut_slice().sort_unstable();
+    }
+
+    /// Binary search over a sorted vector; returns whether `value` occurs.
+    pub fn binary_search(&self, value: &T) -> bool {
+        self.as_slice().binary_search(value).is_ok()
+    }
+}
+
+impl<T: Copy> Drop for SysVec<T> {
+    fn drop(&mut self) {
+        if self.cap != 0 {
+            let layout = Layout::array::<T>(self.cap).unwrap();
+            unsafe { System.dealloc(self.ptr as *mut u8, layout) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let mut v: SysVec<usize> = SysVec::new();
+        assert!(v.is_empty());
+        for i in 0..100 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 100);
+        for i in (0..100).rev() {
+            assert_eq!(v.pop(), Some(i));
+        }
+        assert_eq!(v.pop(), None);
+    }
+
+    #[test]
+    fn get_and_clear() {
+        let mut v: SysVec<u32> = SysVec::new();
+        v.push(5);
+        v.push(6);
+        assert_eq!(v.get(0), Some(5));
+        assert_eq!(v.get(1), Some(6));
+        assert_eq!(v.get(2), None);
+        v.clear();
+        assert!(v.is_empty());
+        // Capacity reuse after clear.
+        v.push(9);
+        assert_eq!(v.get(0), Some(9));
+    }
+
+    #[test]
+    fn sort_and_search() {
+        let mut v: SysVec<usize> = SysVec::new();
+        for x in [5, 1, 9, 3, 7] {
+            v.push(x);
+        }
+        v.sort_unstable();
+        assert_eq!(v.as_slice(), &[1, 3, 5, 7, 9]);
+        assert!(v.binary_search(&7));
+        assert!(!v.binary_search(&4));
+    }
+
+    #[test]
+    fn growth_beyond_initial_capacity() {
+        let mut v: SysVec<u64> = SysVec::new();
+        for i in 0..10_000u64 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 10_000);
+        assert_eq!(v.get(9_999), Some(9_999));
+        assert_eq!(v.get(0), Some(0));
+    }
+
+    #[test]
+    fn empty_slice_is_empty() {
+        let v: SysVec<u8> = SysVec::new();
+        assert_eq!(v.as_slice(), &[] as &[u8]);
+    }
+}

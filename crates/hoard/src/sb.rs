@@ -1,0 +1,273 @@
+//! Hoard superblock headers and block free lists.
+//!
+//! Each 16 KiB, 16 KiB-aligned superblock starts with an [`SbHeader`];
+//! blocks follow. `free` recovers the header by masking the block
+//! address (`ptr & !(SB_SIZE-1)`) — the address-arithmetic trick Hoard
+//! itself uses, which is why Hoard blocks need no per-block prefix.
+//! Direct (large) allocations get their own magic-tagged header at a
+//! 16 KiB-aligned base so the same masking identifies them.
+
+use core::sync::atomic::{AtomicUsize, Ordering};
+
+/// Superblock size (and alignment): 16 KiB, as in Hoard and the paper.
+pub const SB_SIZE: usize = 1 << 14;
+/// Superblock shift for the page pool.
+pub const SB_SHIFT: u32 = 14;
+/// Header bytes reserved at the start of each superblock.
+pub const SB_HEADER: usize = 64;
+
+/// Magic tag: superblock.
+pub const MAGIC_SB: u32 = 0x5B0A_2D01;
+/// Magic tag: direct OS allocation.
+pub const MAGIC_DIRECT: u32 = 0xD12E_C701;
+
+/// Owner id meaning "the global heap".
+pub const OWNER_GLOBAL: usize = usize::MAX;
+
+/// Fullness groups per (heap, class): quartiles 0..=3 plus the full
+/// group. Hoard keeps superblocks sorted into fullness groups so malloc
+/// can prefer nearly-full superblocks (better locality and emptier
+/// superblocks become movable).
+pub const GROUPS: usize = 5;
+/// Index of the group holding completely full superblocks.
+pub const GROUP_FULL: usize = GROUPS - 1;
+
+/// Header at the base of every Hoard superblock. All fields except
+/// `owner` are guarded by the owning heap's lock; `owner` is atomic so
+/// `free` can run the lock-owner loop.
+#[repr(C)]
+pub struct SbHeader {
+    /// [`MAGIC_SB`].
+    pub magic: u32,
+    /// Size class index.
+    pub class: u32,
+    /// Heap index owning this superblock, or [`OWNER_GLOBAL`].
+    pub owner: AtomicUsize,
+    /// Block size in bytes.
+    pub sz: u32,
+    /// Blocks in this superblock.
+    pub capacity: u32,
+    /// Blocks currently allocated.
+    pub used: u32,
+    /// Index of the first free block (`u32::MAX` = none).
+    pub free_head: u32,
+    /// Current fullness group index.
+    pub group: u32,
+    /// Explicit padding (keeps the link fields naturally aligned).
+    pub _pad: u32,
+    /// Intrusive group-list forward link.
+    pub next: *mut SbHeader,
+    /// Intrusive group-list backward link.
+    pub prev: *mut SbHeader,
+}
+
+const _: () = assert!(core::mem::size_of::<SbHeader>() <= SB_HEADER);
+
+impl SbHeader {
+    /// Initializes a fresh superblock for `class` with `sz`-byte blocks,
+    /// building the internal free list.
+    ///
+    /// # Safety
+    ///
+    /// `base` must point to `SB_SIZE` writable bytes aligned to
+    /// `SB_SIZE`, exclusively owned.
+    pub unsafe fn init(base: *mut u8, class: u32, sz: u32) -> *mut SbHeader {
+        debug_assert_eq!(base as usize % SB_SIZE, 0);
+        let capacity = ((SB_SIZE - SB_HEADER) / sz as usize) as u32;
+        debug_assert!(capacity >= 1);
+        let header = base as *mut SbHeader;
+        unsafe {
+            header.write(SbHeader {
+                magic: MAGIC_SB,
+                class,
+                owner: AtomicUsize::new(OWNER_GLOBAL),
+                sz,
+                capacity,
+                used: 0,
+                free_head: 0,
+                group: 0,
+                _pad: 0,
+                next: core::ptr::null_mut(),
+                prev: core::ptr::null_mut(),
+            });
+            // Chain the blocks: block i links to i+1; the last links to
+            // the "none" sentinel.
+            for i in 0..capacity {
+                let b = base.add(SB_HEADER + (i * sz) as usize) as *mut u32;
+                b.write(if i + 1 < capacity { i + 1 } else { u32::MAX });
+            }
+        }
+        header
+    }
+
+    /// The block at `idx`.
+    ///
+    /// # Safety
+    ///
+    /// `idx < capacity`; header valid.
+    #[inline]
+    pub unsafe fn block(&self, idx: u32) -> *mut u8 {
+        let base = self as *const SbHeader as usize;
+        (base + SB_HEADER + (idx as usize * self.sz as usize)) as *mut u8
+    }
+
+    /// Index of the block at `ptr`.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be a block of this superblock.
+    #[inline]
+    pub unsafe fn index_of(&self, ptr: *mut u8) -> u32 {
+        let base = self as *const SbHeader as usize;
+        ((ptr as usize - base - SB_HEADER) / self.sz as usize) as u32
+    }
+
+    /// Pops a free block (caller holds the owner heap's lock).
+    ///
+    /// # Safety
+    ///
+    /// Exclusive access via the owner lock.
+    pub unsafe fn pop_block(&mut self) -> Option<*mut u8> {
+        if self.free_head == u32::MAX {
+            return None;
+        }
+        let idx = self.free_head;
+        let b = unsafe { self.block(idx) };
+        self.free_head = unsafe { *(b as *const u32) };
+        self.used += 1;
+        Some(b)
+    }
+
+    /// Pushes a block back (caller holds the owner heap's lock).
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be an allocated block of this superblock; exclusive
+    /// access via the owner lock.
+    pub unsafe fn push_block(&mut self, ptr: *mut u8) {
+        let idx = unsafe { self.index_of(ptr) };
+        unsafe { *(ptr as *mut u32) = self.free_head };
+        self.free_head = idx;
+        self.used -= 1;
+    }
+
+    /// The fullness group this superblock currently belongs in.
+    #[inline]
+    pub fn target_group(&self) -> usize {
+        if self.used == self.capacity {
+            GROUP_FULL
+        } else {
+            ((self.used as usize * (GROUPS - 1)) / self.capacity as usize).min(GROUPS - 2)
+        }
+    }
+
+    /// Loads the owner with acquire ordering (for the lock-owner loop).
+    #[inline]
+    pub fn load_owner(&self) -> usize {
+        self.owner.load(Ordering::Acquire)
+    }
+}
+
+/// Recovers the 16 KiB-aligned region header from any interior pointer.
+///
+/// # Safety
+///
+/// `ptr` must point into a Hoard-owned region (superblock or direct).
+#[inline]
+pub unsafe fn region_of(ptr: *mut u8) -> *mut SbHeader {
+    ((ptr as usize) & !(SB_SIZE - 1)) as *mut SbHeader
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::alloc::{GlobalAlloc, Layout, System};
+
+    fn alloc_sb() -> *mut u8 {
+        let l = Layout::from_size_align(SB_SIZE, SB_SIZE).unwrap();
+        let p = unsafe { System.alloc_zeroed(l) };
+        assert!(!p.is_null());
+        p
+    }
+
+    unsafe fn free_sb(p: *mut u8) {
+        let l = Layout::from_size_align(SB_SIZE, SB_SIZE).unwrap();
+        unsafe { System.dealloc(p, l) };
+    }
+
+    #[test]
+    fn init_builds_full_free_list() {
+        let base = alloc_sb();
+        unsafe {
+            let h = &mut *SbHeader::init(base, 3, 128);
+            assert_eq!(h.capacity as usize, (SB_SIZE - SB_HEADER) / 128);
+            assert_eq!(h.used, 0);
+            // Pop everything; all blocks distinct and in range.
+            let mut seen = std::collections::HashSet::new();
+            while let Some(b) = h.pop_block() {
+                assert!(seen.insert(b as usize));
+                assert!(b as usize >= base as usize + SB_HEADER);
+                assert!((b as usize + 128) <= base as usize + SB_SIZE);
+            }
+            assert_eq!(seen.len(), h.capacity as usize);
+            assert_eq!(h.used, h.capacity);
+            free_sb(base);
+        }
+    }
+
+    #[test]
+    fn push_pop_lifo() {
+        let base = alloc_sb();
+        unsafe {
+            let h = &mut *SbHeader::init(base, 0, 16);
+            let a = h.pop_block().unwrap();
+            let b = h.pop_block().unwrap();
+            h.push_block(b);
+            assert_eq!(h.pop_block().unwrap(), b, "free list is LIFO");
+            h.push_block(b);
+            h.push_block(a);
+            assert_eq!(h.used, 0);
+            free_sb(base);
+        }
+    }
+
+    #[test]
+    fn masking_recovers_header() {
+        let base = alloc_sb();
+        unsafe {
+            let h = &mut *SbHeader::init(base, 0, 64);
+            let b = h.pop_block().unwrap();
+            assert_eq!(region_of(b), base as *mut SbHeader);
+            assert_eq!((*region_of(b)).magic, MAGIC_SB);
+            free_sb(base);
+        }
+    }
+
+    #[test]
+    fn fullness_groups_span_quartiles() {
+        let base = alloc_sb();
+        unsafe {
+            let h = &mut *SbHeader::init(base, 0, 16);
+            assert_eq!(h.target_group(), 0);
+            while h.pop_block().is_some() {}
+            assert_eq!(h.target_group(), GROUP_FULL);
+            // Free one: drops out of the full group.
+            let last = h.block(0);
+            h.push_block(last);
+            assert!(h.target_group() < GROUP_FULL);
+            free_sb(base);
+        }
+    }
+
+    #[test]
+    fn index_of_inverts_block() {
+        let base = alloc_sb();
+        unsafe {
+            let h = &mut *SbHeader::init(base, 0, 48);
+            for i in 0..h.capacity {
+                assert_eq!(h.index_of(h.block(i)), i);
+            }
+            free_sb(base);
+        }
+    }
+}

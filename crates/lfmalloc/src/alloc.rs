@@ -1,0 +1,336 @@
+//! The malloc paths — a faithful transcription of the paper's Figure 4.
+//!
+//! `malloc` tries, in order: (1) the heap's active superblock, (2) a
+//! partial superblock, (3) a new superblock, looping on transient
+//! failures ("the thread tries the following in order until it allocates
+//! a block").
+//!
+//! All functions here return **block start addresses**; the caller
+//! ([`malloc_small`]) writes the descriptor prefix and applies the user
+//! offset. This is the one structural generalization over the paper
+//! (which hardcodes `addr + EIGHTBYTES`) and exists to support Rust
+//! `Layout` alignments above 8 — at offset 8 the code is byte-for-byte
+//! the paper's.
+
+use crate::active::Active;
+use crate::anchor::{SbState, MAX_BLOCKS};
+use crate::config::{PREFIX_SIZE, SB_SIZE};
+use crate::descriptor::Descriptor;
+use crate::heap::ProcHeap;
+use crate::instance::Inner;
+use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use osmem::PageSource;
+
+/// Outcome of `MallocFromNewSB`.
+enum NewSb {
+    /// Allocation finished: `Some((block, descriptor))`, or `None` when
+    /// the OS is out of memory.
+    Done(Option<(usize, *const Descriptor)>),
+    /// Lost the install race ("a new active superblock must have been
+    /// installed by another thread"); retry the whole ladder.
+    Lost,
+}
+
+/// Small-block malloc: the `while(1)` ladder of Figure 4's `malloc`.
+///
+/// `off` is the user-data offset inside the block (`>= PREFIX_SIZE`);
+/// the descriptor prefix lands at `block + off - 8`.
+///
+/// # Safety
+///
+/// `ci` must be a valid class index and `off + 1 <= CLASS_SIZES[ci]`.
+pub(crate) unsafe fn malloc_small<S: PageSource>(
+    inner: &Inner<S>,
+    ci: usize,
+    off: usize,
+) -> *mut u8 {
+    let heap = inner.heap_for(ci);
+    loop {
+        if let Some((block, desc)) = unsafe { malloc_from_active(inner, heap) } {
+            return unsafe { finish_block(block, desc, off) };
+        }
+        if let Some((block, desc)) = unsafe { malloc_from_partial(inner, heap) } {
+            return unsafe { finish_block(block, desc, off) };
+        }
+        match unsafe { malloc_from_new_sb(inner, heap) } {
+            NewSb::Done(Some((block, desc))) => {
+                return unsafe { finish_block(block, desc, off) }
+            }
+            NewSb::Done(None) => return core::ptr::null_mut(),
+            NewSb::Lost => continue,
+        }
+    }
+}
+
+/// Performs ONLY the first step of `MallocFromActive` — reserving a
+/// credit — and then abandons the operation, simulating a thread that
+/// was killed between the paper's lines 6 and 8. Returns true if a
+/// reservation was abandoned (false if the heap had no active
+/// superblock, in which case nothing observable happened).
+///
+/// The abandoned reservation permanently leaks one block — exactly what
+/// a kill does — but, per the paper's kill-tolerance claim, must never
+/// impede any other thread. Used by crash-tolerance tests only.
+pub(crate) unsafe fn abandon_reservation<S: PageSource>(
+    inner: &Inner<S>,
+    ci: usize,
+) -> bool {
+    let heap = inner.heap_for(ci);
+    let mut oldactive = heap.load_active();
+    loop {
+        if oldactive.is_null() {
+            return false;
+        }
+        let newactive = if oldactive.credits() == 0 {
+            Active::null()
+        } else {
+            oldactive.take_credit()
+        };
+        match heap.cas_active(oldactive, newactive) {
+            Ok(()) => return true, // ...and die here, reservation in hand
+            Err(observed) => oldactive = observed,
+        }
+    }
+}
+
+/// Writes the descriptor prefix at `block + off - 8` and returns the
+/// user pointer `block + off` (paper line 21: `*addr = desc; return
+/// addr+EIGHTBYTES`).
+#[inline]
+unsafe fn finish_block(block: usize, desc: *const Descriptor, off: usize) -> *mut u8 {
+    unsafe {
+        (*((block + off - PREFIX_SIZE) as *const AtomicUsize))
+            .store(desc as usize, Ordering::Relaxed);
+    }
+    (block + off) as *mut u8
+}
+
+/// `MallocFromActive` (Figure 4): the common case. Two atomic steps:
+/// reserve a credit from the `Active` word, then pop the reserved block
+/// from the superblock's LIFO free list.
+///
+/// Returns the *block start* and descriptor, or `None` if the heap has
+/// no active superblock.
+unsafe fn malloc_from_active<S: PageSource>(
+    inner: &Inner<S>,
+    heap: &ProcHeap,
+) -> Option<(usize, *const Descriptor)> {
+    // -- First step: reserve block ------------------------------------
+    let mut oldactive = heap.load_active();
+    let reserved = loop {
+        if oldactive.is_null() {
+            return None; // line 2
+        }
+        let newactive = if oldactive.credits() == 0 {
+            Active::null() // line 4: taking the last credit
+        } else {
+            oldactive.take_credit() // line 5
+        };
+        match heap.cas_active(oldactive, newactive) {
+            Ok(()) => break oldactive, // line 6 success
+            Err(observed) => oldactive = observed,
+        }
+    };
+    // After this CAS we are *guaranteed* a block in this superblock;
+    // the state may meanwhile become FULL, PARTIAL, or even the active
+    // superblock of a different heap — but never EMPTY (paper §3.2.3).
+    let desc_ptr = reserved.desc();
+    let desc = unsafe { &*desc_ptr };
+
+    // -- Second step: pop block (lock-free LIFO pop with ABA tag) -----
+    let mut morecredits = 0;
+    let (block, oldanchor) = loop {
+        let oldanchor = desc.load_anchor(); // line 8
+        let sb = desc.sb() as usize;
+        let sz = desc.sz() as usize;
+        let block = sb + oldanchor.avail() as usize * sz; // line 9
+        // line 10: read the next free index from the block body. Atomic:
+        // a racing thread may have already allocated this block and be
+        // writing user data; the tag CAS below rejects that case.
+        let next = unsafe { (*(block as *const AtomicU64)).load(Ordering::Acquire) };
+        let mut newanchor = oldanchor
+            .with_avail(next as u32 & (MAX_BLOCKS - 1)) // line 11 (masked: garbage is rejected by the CAS)
+            .with_tag_bump(); // line 12
+        if reserved.credits() == 0 {
+            // line 13: we took the last credit; state must be ACTIVE.
+            if oldanchor.count() == 0 {
+                newanchor = newanchor.with_state(SbState::Full); // line 15
+            } else {
+                // lines 16-17: move as many credits as possible from the
+                // anchor's count to the Active word.
+                morecredits = oldanchor.count().min(inner.config.max_credits);
+                newanchor = newanchor.with_count(oldanchor.count() - morecredits);
+            }
+        }
+        if desc.cas_anchor(oldanchor, newanchor).is_ok() {
+            break (block, oldanchor); // line 18
+        }
+    };
+    if reserved.credits() == 0 && oldanchor.count() > 0 {
+        unsafe { update_active(inner, heap, desc_ptr, morecredits) }; // lines 19-20
+    }
+    Some((block, desc_ptr))
+}
+
+/// `UpdateActive` (Figure 4): try to reinstall `desc` as the active
+/// superblock with `morecredits - 1` credits; if another superblock got
+/// installed meanwhile, return the credits to the anchor and make the
+/// superblock PARTIAL.
+pub(crate) unsafe fn update_active<S: PageSource>(
+    inner: &Inner<S>,
+    heap: &ProcHeap,
+    desc_ptr: *const Descriptor,
+    morecredits: u32,
+) {
+    debug_assert!(morecredits >= 1);
+    let newactive = Active::pack(desc_ptr, morecredits - 1); // lines 1-2
+    if heap.cas_active(Active::null(), newactive).is_ok() {
+        return; // line 3
+    }
+    // Someone installed another active sb: return credits, go PARTIAL.
+    let desc = unsafe { &*desc_ptr };
+    loop {
+        let old = desc.load_anchor(); // line 4
+        let new = old.with_count(old.count() + morecredits).with_state(SbState::Partial); // 5-6
+        if desc.cas_anchor(old, new).is_ok() {
+            break; // line 7
+        }
+    }
+    unsafe { heap_put_partial(inner, desc_ptr as *mut Descriptor) }; // line 8
+}
+
+/// `HeapPutPartial` (Figure 6): swap `desc` into the owning heap's
+/// most-recently-used Partial slot; the displaced occupant (if any)
+/// goes to the size class's partial list.
+pub(crate) unsafe fn heap_put_partial<S: PageSource>(inner: &Inner<S>, desc: *mut Descriptor) {
+    let heap = unsafe { &*(*desc).heap() };
+    let prev = heap.swap_partial(desc); // lines 1-2 (swap == CAS loop)
+    if !prev.is_null() {
+        let ci = heap.class();
+        unsafe { inner.classes[ci].partial.put(&inner.domain, prev) }; // line 3
+    }
+}
+
+/// `HeapGetPartial` (Figure 4): take the heap's Partial slot, falling
+/// back to the size class's partial list.
+unsafe fn heap_get_partial<S: PageSource>(
+    inner: &Inner<S>,
+    heap: &ProcHeap,
+) -> Option<*mut Descriptor> {
+    loop {
+        let desc = heap.load_partial(); // line 1
+        if desc.is_null() {
+            return unsafe { inner.classes[heap.class()].partial.get(&inner.domain) };
+            // line 3: ListGetPartial
+        }
+        if heap.cas_partial(desc, core::ptr::null_mut()) {
+            return Some(desc); // lines 4-5
+        }
+    }
+}
+
+/// `MallocFromPartial` (Figure 4): reserve `morecredits + 1` blocks from
+/// a partial superblock in one CAS, pop one for the caller, and deposit
+/// the rest in the Active word.
+unsafe fn malloc_from_partial<S: PageSource>(
+    inner: &Inner<S>,
+    heap: &ProcHeap,
+) -> Option<(usize, *const Descriptor)> {
+    'retry: loop {
+        let desc_ptr = unsafe { heap_get_partial(inner, heap) }?; // line 1-2
+        let desc = unsafe { &*desc_ptr };
+        desc.set_heap(heap as *const _ as *mut ProcHeap); // line 3
+
+        // -- Reserve blocks (lines 4-10) -------------------------------
+        let morecredits = loop {
+            let old = desc.load_anchor();
+            if old.state() == SbState::Empty {
+                // line 5-6: raced with the emptying free; recycle and
+                // try another partial superblock.
+                unsafe { inner.desc_pool.retire(&inner.domain, desc_ptr) };
+                continue 'retry;
+            }
+            // "oldanchor state must be PARTIAL; oldanchor count must be > 0"
+            debug_assert_eq!(old.state(), SbState::Partial);
+            debug_assert!(old.count() > 0);
+            let mc = (old.count() - 1).min(inner.config.max_credits); // line 7
+            let new = old
+                .with_count(old.count() - (mc + 1)) // line 8
+                .with_state(if mc > 0 { SbState::Active } else { SbState::Full }); // line 9
+            if desc.cas_anchor(old, new).is_ok() {
+                break mc; // line 10
+            }
+        };
+
+        // -- Pop reserved block (lines 11-15) ---------------------------
+        let block = loop {
+            let old = desc.load_anchor();
+            let sb = desc.sb() as usize;
+            let sz = desc.sz() as usize;
+            let block = sb + old.avail() as usize * sz; // line 12
+            let next = unsafe { (*(block as *const AtomicU64)).load(Ordering::Acquire) };
+            let new = old.with_avail(next as u32 & (MAX_BLOCKS - 1)).with_tag_bump(); // 13-14
+            if desc.cas_anchor(old, new).is_ok() {
+                break block; // line 15
+            }
+        };
+        if morecredits > 0 {
+            unsafe { update_active(inner, heap, desc_ptr, morecredits) }; // lines 16-17
+        }
+        return Some((block, desc_ptr));
+    }
+}
+
+/// `MallocFromNewSB` (Figure 4): build a fresh superblock and try to
+/// install it as the heap's active superblock. On a lost race the
+/// superblock and descriptor are recycled ("we prefer to deallocate the
+/// superblock rather than take a block from it", §3.2.3).
+unsafe fn malloc_from_new_sb<S: PageSource>(inner: &Inner<S>, heap: &ProcHeap) -> NewSb {
+    let ci = heap.class();
+    let sz = inner.classes[ci].sz as usize;
+    let desc_ptr = unsafe { inner.desc_pool.alloc(&inner.domain, &inner.source) }; // line 1
+    if desc_ptr.is_null() {
+        return NewSb::Done(None); // OS exhausted
+    }
+    let desc = unsafe { &*desc_ptr };
+    let sb = inner.sb_pool.alloc(&inner.source); // line 2
+    if sb.is_null() {
+        unsafe { inner.desc_pool.retire(&inner.domain, desc_ptr) };
+        return NewSb::Done(None);
+    }
+    let maxcount = (SB_SIZE / sz) as u32;
+    // line 3: organize blocks in a linked list starting with index 0.
+    for i in 0..maxcount {
+        unsafe {
+            (*((sb as usize + i as usize * sz) as *const AtomicU64))
+                .store(i as u64 + 1, Ordering::Relaxed);
+        }
+    }
+    desc.set_heap(heap as *const _ as *mut ProcHeap); // line 4
+    desc.set_sb(sb);
+    desc.set_sz(sz as u32); // line 6
+    desc.set_maxcount(maxcount); // line 7
+    let credits = (maxcount - 1).min(inner.config.max_credits) - 1; // line 9
+    let count = (maxcount - 1) - (credits + 1); // line 10
+    // lines 5, 10, 11 — preserving the descriptor's tag sequence across
+    // reuse keeps the ABA argument intact.
+    let anchor = desc
+        .load_anchor()
+        .with_avail(1)
+        .with_count(count)
+        .with_state(SbState::Active)
+        .with_tag_bump();
+    desc.store_anchor(anchor); // line 12's fence == this release store
+    let newactive = Active::pack(desc_ptr, credits);
+    if heap.cas_active(Active::null(), newactive).is_ok() {
+        // line 13 success: block 0 is ours.
+        NewSb::Done(Some((sb as usize, desc_ptr)))
+    } else {
+        // lines 16-17: lost the race; recycle everything.
+        unsafe {
+            inner.sb_pool.dealloc(sb);
+            inner.desc_pool.retire(&inner.domain, desc_ptr);
+        }
+        NewSb::Lost
+    }
+}

@@ -1,0 +1,262 @@
+//! The superblock `Anchor`: the allocator's central packed word.
+//!
+//! The paper (Figure 3) packs four subfields into one atomic word so a
+//! single CAS can atomically pop a block, adjust the free count, change
+//! the superblock state, and bump the ABA tag:
+//!
+//! ```text
+//! typedef anchor : // fits in one atomic block
+//!     unsigned avail:10, count:10, state:2, tag:42;
+//! ```
+//!
+//! We widen `avail`/`count` to 12 bits each (tag shrinks to 38): a
+//! 16 KiB superblock of 16-byte blocks holds 1024 blocks, which does not
+//! fit in 10 bits. 2³⁸ tag values keep "full wraparound practically
+//! impossible in a short time", the paper's stated requirement.
+
+/// Bits for the `avail` (first free block index) subfield.
+pub const AVAIL_BITS: u32 = 12;
+/// Bits for the `count` (unreserved free blocks) subfield.
+pub const COUNT_BITS: u32 = 12;
+/// Bits for the `state` subfield.
+pub const STATE_BITS: u32 = 2;
+/// Bits for the ABA `tag` subfield.
+pub const TAG_BITS: u32 = 64 - AVAIL_BITS - COUNT_BITS - STATE_BITS;
+
+/// Maximum blocks per superblock representable in the anchor.
+pub const MAX_BLOCKS: u32 = 1 << AVAIL_BITS;
+
+const AVAIL_SHIFT: u32 = 0;
+const COUNT_SHIFT: u32 = AVAIL_BITS;
+const STATE_SHIFT: u32 = AVAIL_BITS + COUNT_BITS;
+const TAG_SHIFT: u32 = AVAIL_BITS + COUNT_BITS + STATE_BITS;
+
+const AVAIL_MASK: u64 = (1 << AVAIL_BITS) - 1;
+const COUNT_MASK: u64 = (1 << COUNT_BITS) - 1;
+const STATE_MASK: u64 = (1 << STATE_BITS) - 1;
+const TAG_MASK: u64 = (1 << TAG_BITS) - 1;
+
+/// Superblock lifecycle state (§3.2.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SbState {
+    /// The heap's active superblock, or about to be installed as such.
+    Active = 0,
+    /// All blocks allocated or reserved; linked from no structure — the
+    /// first freeing thread re-links it.
+    Full = 1,
+    /// Not active, has unreserved available blocks; lives in a heap's
+    /// `Partial` slot or the size class's partial list.
+    Partial = 2,
+    /// All blocks free and not active; its superblock may be recycled.
+    Empty = 3,
+}
+
+impl SbState {
+    fn from_bits(b: u64) -> SbState {
+        match b {
+            0 => SbState::Active,
+            1 => SbState::Full,
+            2 => SbState::Partial,
+            _ => SbState::Empty,
+        }
+    }
+}
+
+/// An immutable snapshot of the packed anchor word.
+///
+/// All mutators return a new value; the owning
+/// [`Descriptor`](crate::descriptor::Descriptor) stores the raw `u64` in
+/// an atomic and CASes snapshots in the paper's
+/// `do { old = new = load; ... } until CAS(old, new)` pattern.
+///
+/// # Example
+///
+/// ```
+/// use lfmalloc::anchor::{Anchor, SbState};
+///
+/// let a = Anchor::new(5, 3, SbState::Active);
+/// assert_eq!(a.avail(), 5);
+/// assert_eq!(a.count(), 3);
+/// let popped = a.with_avail(7).with_tag_bump();
+/// assert_eq!(popped.avail(), 7);
+/// assert_eq!(popped.tag(), a.tag() + 1);
+/// assert_ne!(popped.raw(), a.raw());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Anchor(u64);
+
+impl Anchor {
+    /// Builds an anchor with tag zero.
+    pub fn new(avail: u32, count: u32, state: SbState) -> Anchor {
+        debug_assert!(avail < MAX_BLOCKS, "avail {avail} out of range");
+        debug_assert!((count as u64) <= COUNT_MASK, "count {count} out of range");
+        Anchor(
+            ((avail as u64) << AVAIL_SHIFT)
+                | ((count as u64) << COUNT_SHIFT)
+                | ((state as u64) << STATE_SHIFT),
+        )
+    }
+
+    /// Reinterprets a raw word loaded from the descriptor's atomic.
+    #[inline]
+    pub const fn from_raw(raw: u64) -> Anchor {
+        Anchor(raw)
+    }
+
+    /// The raw word for CAS.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Index of the first available block in the superblock's free list.
+    #[inline]
+    pub fn avail(self) -> u32 {
+        ((self.0 >> AVAIL_SHIFT) & AVAIL_MASK) as u32
+    }
+
+    /// Number of unreserved available blocks.
+    #[inline]
+    pub fn count(self) -> u32 {
+        ((self.0 >> COUNT_SHIFT) & COUNT_MASK) as u32
+    }
+
+    /// Superblock state.
+    #[inline]
+    pub fn state(self) -> SbState {
+        SbState::from_bits((self.0 >> STATE_SHIFT) & STATE_MASK)
+    }
+
+    /// ABA tag.
+    #[inline]
+    pub fn tag(self) -> u64 {
+        (self.0 >> TAG_SHIFT) & TAG_MASK
+    }
+
+    /// Replaces `avail`.
+    #[inline]
+    pub fn with_avail(self, avail: u32) -> Anchor {
+        debug_assert!(avail < MAX_BLOCKS);
+        Anchor((self.0 & !(AVAIL_MASK << AVAIL_SHIFT)) | ((avail as u64) << AVAIL_SHIFT))
+    }
+
+    /// Replaces `count`.
+    #[inline]
+    pub fn with_count(self, count: u32) -> Anchor {
+        debug_assert!((count as u64) <= COUNT_MASK);
+        Anchor((self.0 & !(COUNT_MASK << COUNT_SHIFT)) | ((count as u64) << COUNT_SHIFT))
+    }
+
+    /// Replaces `state`.
+    #[inline]
+    pub fn with_state(self, state: SbState) -> Anchor {
+        Anchor((self.0 & !(STATE_MASK << STATE_SHIFT)) | ((state as u64) << STATE_SHIFT))
+    }
+
+    /// Increments the ABA tag (wrapping in its field). The paper bumps
+    /// the tag on every pop from the superblock free list.
+    #[inline]
+    pub fn with_tag_bump(self) -> Anchor {
+        let tag = (self.tag().wrapping_add(1)) & TAG_MASK;
+        Anchor((self.0 & !(TAG_MASK << TAG_SHIFT)) | (tag << TAG_SHIFT))
+    }
+}
+
+impl core::fmt::Debug for Anchor {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Anchor")
+            .field("avail", &self.avail())
+            .field("count", &self.count())
+            .field("state", &self.state())
+            .field("tag", &self.tag())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn field_widths_sum_to_64() {
+        assert_eq!(AVAIL_BITS + COUNT_BITS + STATE_BITS + TAG_BITS, 64);
+        assert_eq!(TAG_BITS, 38);
+    }
+
+    #[test]
+    fn max_superblock_population_fits() {
+        // 16 KiB / 16 B = 1024 blocks; avail indexes 0..=1023 and the
+        // "no next block" sentinel 1024 must be representable.
+        assert!(crate::config::SB_SIZE / 16 <= MAX_BLOCKS as usize);
+    }
+
+    #[test]
+    fn new_starts_with_zero_tag() {
+        let a = Anchor::new(1, 2, SbState::Partial);
+        assert_eq!(a.tag(), 0);
+        assert_eq!(a.state(), SbState::Partial);
+    }
+
+    #[test]
+    fn state_roundtrip_all_variants() {
+        for s in [SbState::Active, SbState::Full, SbState::Partial, SbState::Empty] {
+            let a = Anchor::new(0, 0, SbState::Active).with_state(s);
+            assert_eq!(a.state(), s);
+        }
+    }
+
+    #[test]
+    fn tag_bump_changes_raw_even_when_fields_equal() {
+        // The heart of ABA prevention: same avail/count/state, different
+        // raw word.
+        let a = Anchor::new(3, 1, SbState::Active);
+        let b = a.with_tag_bump();
+        assert_eq!(a.avail(), b.avail());
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.state(), b.state());
+        assert_ne!(a.raw(), b.raw());
+    }
+
+    #[test]
+    fn tag_wraps_in_field_without_corrupting_others() {
+        let mut a = Anchor::from_raw(
+            Anchor::new(7, 9, SbState::Full).raw() | (TAG_MASK << TAG_SHIFT), // max tag
+        );
+        a = a.with_tag_bump();
+        assert_eq!(a.tag(), 0);
+        assert_eq!(a.avail(), 7);
+        assert_eq!(a.count(), 9);
+        assert_eq!(a.state(), SbState::Full);
+    }
+
+    proptest! {
+        #[test]
+        fn pack_roundtrip(avail in 0u32..MAX_BLOCKS, count in 0u32..(1 << COUNT_BITS), state_bits in 0u8..4) {
+            let state = SbState::from_bits(state_bits as u64);
+            let a = Anchor::new(avail, count, state);
+            prop_assert_eq!(a.avail(), avail);
+            prop_assert_eq!(a.count(), count);
+            prop_assert_eq!(a.state(), state);
+        }
+
+        #[test]
+        fn with_fields_are_independent(
+            avail in 0u32..MAX_BLOCKS,
+            count in 0u32..(1 << COUNT_BITS),
+            new_avail in 0u32..MAX_BLOCKS,
+            new_count in 0u32..(1 << COUNT_BITS),
+        ) {
+            let a = Anchor::new(avail, count, SbState::Active)
+                .with_tag_bump()
+                .with_avail(new_avail)
+                .with_count(new_count)
+                .with_state(SbState::Empty);
+            prop_assert_eq!(a.avail(), new_avail);
+            prop_assert_eq!(a.count(), new_count);
+            prop_assert_eq!(a.state(), SbState::Empty);
+            prop_assert_eq!(a.tag(), 1);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Allocator configuration and load-bearing constants.
+
+/// Superblock size exponent: superblocks are `2^SB_SHIFT` = 16 KiB, the
+/// paper's example size, and are carved from 1 MiB hyperblocks.
+pub const SB_SHIFT: u32 = 14;
+
+/// Superblock size in bytes.
+pub const SB_SIZE: usize = 1 << SB_SHIFT;
+
+/// Superblocks per hyperblock (§3.2.5: "batches of (e.g., 1 MB)
+/// hyperblocks").
+pub const SB_BATCH: usize = 64;
+
+/// Descriptors are aligned to `2^DESC_ALIGN_SHIFT` = 64 bytes, freeing
+/// the low 6 bits of a descriptor pointer for the `credits` subfield of
+/// the `Active` word ("the addresses of superblock descriptors can be
+/// guaranteed to be aligned to some power of 2 (e.g., 64)").
+pub const DESC_ALIGN_SHIFT: u32 = 6;
+
+/// Maximum credits held in an `Active` word: with 6 pointer bits free,
+/// `credits` ranges over 0..=63, encoding 1..=64 available reservations.
+pub const MAX_CREDITS: u32 = 1 << DESC_ALIGN_SHIFT;
+
+/// Per-block prefix holding the descriptor pointer (or the large-block
+/// marker). "Each block includes an 8 byte prefix (overhead)."
+pub const PREFIX_SIZE: usize = 8;
+
+/// How threads map to processor heaps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HeapMode {
+    /// One heap per "processor": thread id hashes into `n` heaps. The
+    /// paper sizes this "proportional to the number of processors".
+    PerCpu(usize),
+    /// One heap total, skipping the thread-id lookup — the §4.2.4
+    /// uniprocessor optimization ("15% increase in contention-free
+    /// speedup").
+    Single,
+}
+
+impl HeapMode {
+    /// Number of heaps this mode uses per size class.
+    pub fn heap_count(self) -> usize {
+        match self {
+            HeapMode::PerCpu(n) => n.max(1),
+            HeapMode::Single => 1,
+        }
+    }
+}
+
+/// Organization of the size-class partial-superblock lists (§3.2.6
+/// describes both; the paper prefers FIFO).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartialMode {
+    /// Michael–Scott FIFO queue: "reduces the chances of contention and
+    /// false sharing" — the paper's preferred choice.
+    Fifo,
+    /// LIFO (Treiber) list — the alternative the paper sketches; kept as
+    /// an ablation (experiment A1 in DESIGN.md).
+    Lifo,
+    /// Michael's lock-free ordered list with mid-list removal — the
+    /// paper's other §3.2.6 option: "the simpler version in [19] of the
+    /// lock-free linked list algorithm in [16] can be used to manage
+    /// such a list ... with the possibility of removing descriptors
+    /// from the middle of the list".
+    List,
+}
+
+/// Tunable allocator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Heap topology.
+    pub heap_mode: HeapMode,
+    /// Partial-list organization.
+    pub partial_mode: PartialMode,
+    /// Cap on credits moved into the `Active` word at once
+    /// (1..=[`MAX_CREDITS`]). The paper fixes this at 64 via pointer
+    /// alignment; the A2 ablation sweeps it to show what credit
+    /// batching buys.
+    pub max_credits: u32,
+}
+
+impl Config {
+    /// Paper-shaped defaults: per-CPU heaps (detected at initialization
+    /// time, as §4.2.4 suggests: "the allocator can determine the number
+    /// of processors in the system at initialization time"), FIFO
+    /// partial lists.
+    pub fn detect() -> Self {
+        let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Config {
+            heap_mode: HeapMode::PerCpu(cpus),
+            partial_mode: PartialMode::Fifo,
+            max_credits: MAX_CREDITS,
+        }
+    }
+
+    /// Fixed heap count (for scalability experiments that oversubscribe,
+    /// and for the global allocator, whose initialization path must not
+    /// allocate — unlike [`detect`](Self::detect), this is `const`).
+    pub const fn with_heaps(n: usize) -> Self {
+        Config {
+            heap_mode: HeapMode::PerCpu(n),
+            partial_mode: PartialMode::Fifo,
+            max_credits: MAX_CREDITS,
+        }
+    }
+
+    /// The §4.2.4 single-heap configuration.
+    pub const fn uniprocessor() -> Self {
+        Config {
+            heap_mode: HeapMode::Single,
+            partial_mode: PartialMode::Fifo,
+            max_credits: MAX_CREDITS,
+        }
+    }
+
+    /// Clamped credit cap for the A2 ablation.
+    pub fn with_max_credits(self, n: u32) -> Self {
+        Config { max_credits: n.clamp(1, MAX_CREDITS), ..self }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self::detect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(SB_SIZE, 16 * 1024);
+        assert_eq!(MAX_CREDITS, 64);
+        assert_eq!(1usize << DESC_ALIGN_SHIFT, 64);
+        assert!(SB_BATCH * SB_SIZE == 1 << 20, "hyperblocks should be 1 MiB");
+    }
+
+    #[test]
+    fn heap_mode_counts() {
+        assert_eq!(HeapMode::Single.heap_count(), 1);
+        assert_eq!(HeapMode::PerCpu(8).heap_count(), 8);
+        assert_eq!(HeapMode::PerCpu(0).heap_count(), 1, "zero heaps is clamped");
+    }
+
+    #[test]
+    fn detect_gives_at_least_one_heap() {
+        let c = Config::detect();
+        assert!(c.heap_mode.heap_count() >= 1);
+        assert_eq!(c.partial_mode, PartialMode::Fifo);
+    }
+}

@@ -1,0 +1,103 @@
+//! The free path — a faithful transcription of the paper's Figure 6.
+//!
+//! "The free algorithm for small blocks is simple. It primarily involves
+//! pushing the freed block into its superblock's available list and
+//! adjusting the superblock's state appropriately." One CAS in the
+//! common case; the first free into a FULL superblock re-links it
+//! (`HeapPutPartial`), and the free of the last allocated block empties
+//! the superblock (recycle + `RemoveEmptyDesc`).
+
+use crate::anchor::SbState;
+use crate::config::PREFIX_SIZE;
+use crate::descriptor::Descriptor;
+use crate::heap::ProcHeap;
+use crate::instance::Inner;
+use core::sync::atomic::{AtomicU64, Ordering};
+use osmem::PageSource;
+
+/// Frees a small block. `ptr` is the user pointer; `desc_ptr` was read
+/// from its prefix.
+///
+/// # Safety
+///
+/// `ptr` must be a live small block of this instance whose prefix named
+/// `desc_ptr`.
+pub(crate) unsafe fn free_small<S: PageSource>(
+    inner: &Inner<S>,
+    ptr: *mut u8,
+    desc_ptr: *mut Descriptor,
+) {
+    let desc = unsafe { &*desc_ptr };
+    let sb = desc.sb() as usize; // line 6
+    let sz = desc.sz() as usize;
+    let maxcount = desc.maxcount();
+    // The prefix may sit anywhere inside the block (alignment offsets);
+    // integer division recovers the block index (== the paper's
+    // `(ptr-sb)/desc->sz` with the default 8-byte offset).
+    let prefix_addr = ptr as usize - PREFIX_SIZE;
+    let idx = ((prefix_addr - sb) / sz) as u32; // line 9
+    let block = sb + idx as usize * sz;
+
+    let mut heap: *mut ProcHeap = core::ptr::null_mut();
+    let (oldanchor, newanchor) = loop {
+        let old = desc.load_anchor(); // line 7
+        // line 8: link this block to the current list head. Written
+        // before the CAS; the CAS's release ordering is the paper's
+        // memory fence (line 17).
+        unsafe {
+            (*(block as *const AtomicU64)).store(old.avail() as u64, Ordering::Relaxed);
+        }
+        let mut new = old.with_avail(idx); // line 9
+        if old.state() == SbState::Full {
+            new = new.with_state(SbState::Partial); // lines 10-11
+        }
+        if old.count() == maxcount - 1 {
+            // lines 12-15: this was the last allocated block. Read the
+            // owning heap *before* the CAS (the paper's instruction
+            // fence, line 14): after the CAS the descriptor may be
+            // recycled by another thread at any time.
+            heap = desc.heap(); // line 13
+            new = new.with_state(SbState::Empty); // line 15
+        } else {
+            new = new.with_count(old.count() + 1); // line 16
+        }
+        match desc.cas_anchor(old, new) {
+            Ok(()) => break (old, new), // line 18
+            Err(_) => continue,
+        }
+    };
+
+    if newanchor.state() == SbState::Empty {
+        // lines 19-21: recycle the superblock's memory, then make the
+        // descriptor reclaimable.
+        unsafe {
+            inner.sb_pool.dealloc(sb as *mut u8); // line 20
+            remove_empty_desc(inner, &*heap, desc_ptr); // line 21
+        }
+    } else if oldanchor.state() == SbState::Full {
+        // lines 22-23: we are the first to free into a FULL superblock;
+        // take responsibility for re-linking it.
+        unsafe { crate::alloc::heap_put_partial(inner, desc_ptr) };
+    }
+}
+
+/// `RemoveEmptyDesc` (Figure 6): retire the descriptor if we can pluck
+/// it from the heap's Partial slot; otherwise sweep one empty descriptor
+/// out of the size class's partial list.
+unsafe fn remove_empty_desc<S: PageSource>(
+    inner: &Inner<S>,
+    heap: &ProcHeap,
+    desc: *mut Descriptor,
+) {
+    if heap.cas_partial(desc, core::ptr::null_mut()) {
+        // lines 1-2
+        unsafe { inner.desc_pool.retire(&inner.domain, desc) };
+    } else {
+        // line 3: ListRemoveEmptyDesc — the goal "is to ensure that
+        // empty descriptors are eventually made available for reuse, and
+        // not necessarily to remove a specific empty descriptor
+        // immediately".
+        let ci = heap.class();
+        unsafe { inner.classes[ci].partial.remove_empty(&inner.domain, &inner.desc_pool) };
+    }
+}

@@ -1,0 +1,399 @@
+//! The allocator instance: construction, teardown, and the public
+//! [`RawMalloc`] surface.
+//!
+//! All instance state lives in a single system-allocated, address-stable
+//! `Inner` block ("On the first call to malloc, the static structures
+//! for the size classes and processor heaps (about 16 KB for a 16
+//! processor machine) are allocated and initialized", §3.1 — here
+//! construction is explicit, and the lazy lock-free first-call
+//! initialization lives in [`crate::global`]).
+//!
+//! Nothing in the malloc/free paths allocates through the Rust global
+//! allocator, so an `LfMalloc` can *be* the global allocator.
+
+use crate::config::{Config, PREFIX_SIZE, SB_BATCH, SB_SHIFT};
+use crate::descriptor::DescriptorPool;
+use crate::heap::{heap_index, ProcHeap};
+use crate::partial::PartialList;
+use crate::size_classes::{class_index, class_index_aligned, CLASS_SIZES, NUM_CLASSES};
+use core::ptr::NonNull;
+use core::sync::atomic::{AtomicUsize, Ordering};
+use hazard::HazardDomain;
+use malloc_api::{AllocStats, RawMalloc};
+use osmem::{CountingSource, PagePool, PageSource, SystemSource};
+use std::alloc::{GlobalAlloc, Layout, System};
+
+/// Per-size-class state: the partial-superblock list plus the class
+/// geometry (paper Figure 3's `sizeclass`).
+#[derive(Debug)]
+pub(crate) struct SizeClassState {
+    /// Partial-superblock list shared by the class's heaps.
+    pub partial: PartialList,
+    /// Total block size (prefix included).
+    pub sz: u32,
+}
+
+/// All allocator state; address-stable behind a system allocation.
+pub(crate) struct Inner<S: PageSource> {
+    // Field order is teardown order (see `LfMalloc::drop`): the hazard
+    // domain must drain (pushing retired descriptors and queue nodes
+    // back into their pools) before any pool releases memory.
+    pub domain: HazardDomain,
+    pub desc_pool: DescriptorPool,
+    pub sb_pool: PagePool<SB_SHIFT>,
+    pub source: CountingSource<S>,
+    pub config: Config,
+    pub nheaps: usize,
+    /// `NUM_CLASSES * nheaps` processor heaps, system-allocated.
+    pub heaps: *mut ProcHeap,
+    pub classes: [SizeClassState; NUM_CLASSES],
+    /// Count of live large blocks (diagnostics).
+    pub large_live: AtomicUsize,
+}
+
+impl<S: PageSource> Inner<S> {
+    /// The heap the calling thread uses for size class `ci`.
+    #[inline]
+    pub fn heap_for(&self, ci: usize) -> &ProcHeap {
+        let h = heap_index(self.config.heap_mode);
+        unsafe { &*self.heaps.add(ci * self.nheaps + h) }
+    }
+
+    /// Heap `h` of class `ci` (tests and diagnostics).
+    #[cfg(test)]
+    pub fn heap_at(&self, ci: usize, h: usize) -> &ProcHeap {
+        assert!(ci < NUM_CLASSES && h < self.nheaps);
+        unsafe { &*self.heaps.add(ci * self.nheaps + h) }
+    }
+}
+
+/// The completely lock-free allocator of Michael (PLDI 2004).
+///
+/// Generic over its OS page source `S` so experiments can inject a
+/// counting source; defaults to [`SystemSource`].
+///
+/// # Example
+///
+/// ```
+/// use lfmalloc::LfMalloc;
+/// use malloc_api::RawMalloc;
+///
+/// let a = LfMalloc::new_default();
+/// unsafe {
+///     let p = a.malloc(64);
+///     assert!(!p.is_null());
+///     a.free(p);
+/// }
+/// ```
+///
+/// # Teardown
+///
+/// Dropping the instance returns **all** its memory to the OS and
+/// invalidates any still-outstanding blocks (arena semantics). Callers
+/// must free or forget outstanding blocks first.
+pub struct LfMalloc<S: PageSource = SystemSource> {
+    inner: NonNull<Inner<S>>,
+}
+
+unsafe impl<S: PageSource + Send + Sync> Send for LfMalloc<S> {}
+unsafe impl<S: PageSource + Send + Sync> Sync for LfMalloc<S> {}
+
+impl LfMalloc<SystemSource> {
+    /// Paper-shaped defaults: per-CPU heaps, FIFO partial lists, system
+    /// page source.
+    pub fn new_default() -> Self {
+        Self::with_config(Config::detect())
+    }
+
+    /// Custom configuration over the system page source.
+    pub fn with_config(config: Config) -> Self {
+        Self::with_config_and_source(config, SystemSource::new())
+    }
+}
+
+impl<S: PageSource> LfMalloc<S> {
+    /// Builds an instance over an injected page source (e.g. a counting
+    /// source for the §4.2.5 space experiment).
+    pub fn with_config_and_source(config: Config, source: S) -> Self {
+        let nheaps = config.heap_mode.heap_count();
+        unsafe {
+            let heaps_layout = Layout::array::<ProcHeap>(NUM_CLASSES * nheaps).unwrap();
+            let heaps = System.alloc(heaps_layout) as *mut ProcHeap;
+            assert!(!heaps.is_null(), "lfmalloc: heap table allocation failed");
+            for ci in 0..NUM_CLASSES {
+                for h in 0..nheaps {
+                    heaps.add(ci * nheaps + h).write(ProcHeap::new(ci));
+                }
+            }
+            let inner_layout = Layout::new::<Inner<S>>();
+            let inner = System.alloc(inner_layout) as *mut Inner<S>;
+            assert!(!inner.is_null(), "lfmalloc: instance allocation failed");
+            inner.write(Inner {
+                domain: HazardDomain::new(),
+                desc_pool: DescriptorPool::new(),
+                sb_pool: PagePool::new(SB_BATCH),
+                source: CountingSource::new(source),
+                config,
+                nheaps,
+                heaps,
+                classes: core::array::from_fn(|i| SizeClassState {
+                    partial: PartialList::new(config.partial_mode),
+                    sz: CLASS_SIZES[i],
+                }),
+                large_live: AtomicUsize::new(0),
+            });
+            // The FIFO partial lists allocate their dummy nodes now that
+            // the domain has a stable address.
+            for class in &(*inner).classes {
+                class.partial.init(&(*inner).domain);
+            }
+            LfMalloc { inner: NonNull::new_unchecked(inner) }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn inner(&self) -> &Inner<S> {
+        unsafe { self.inner.as_ref() }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> Config {
+        self.inner().config
+    }
+
+    /// OS-level memory accounting (drives the space-efficiency
+    /// experiment). Covers superblock hyperblocks, descriptor slabs and
+    /// large blocks; excludes only the tiny fixed metadata block and
+    /// queue-node slabs.
+    pub fn os_stats(&self) -> AllocStats {
+        self.inner().source.stats()
+    }
+
+    /// Number of superblock hyperblocks mapped (diagnostics).
+    pub fn hyperblock_count(&self) -> usize {
+        self.inner().sb_pool.hyperblock_count()
+    }
+
+    /// Allocates `size` bytes at alignment `align` (any power of two).
+    ///
+    /// # Safety
+    ///
+    /// Standard malloc contract; see [`RawMalloc::malloc`].
+    pub unsafe fn allocate(&self, size: usize, align: usize) -> *mut u8 {
+        debug_assert!(align.is_power_of_two());
+        let inner = self.inner();
+        let off = align.max(PREFIX_SIZE);
+        let Some(total) = size.checked_add(off) else {
+            return core::ptr::null_mut();
+        };
+        let class = if align <= PREFIX_SIZE {
+            class_index(total)
+        } else {
+            class_index_aligned(total, align)
+        };
+        match class {
+            Some(ci) => unsafe { crate::alloc::malloc_small(inner, ci, off) },
+            None => unsafe { crate::large::alloc_large(inner, size, align) },
+        }
+    }
+
+    /// Crash-tolerance test hook: reserves a block from the calling
+    /// thread's heap for size class of `size` and abandons the
+    /// operation, as if the reserving thread were killed mid-`malloc`
+    /// (between Figure 4's lines 6 and 8). Leaks at most one block.
+    ///
+    /// Returns true if a reservation was actually abandoned.
+    #[doc(hidden)]
+    pub fn simulate_killed_reservation(&self, size: usize) -> bool {
+        let inner = self.inner();
+        match class_index(size + PREFIX_SIZE) {
+            Some(ci) => unsafe { crate::alloc::abandon_reservation(inner, ci) },
+            None => false,
+        }
+    }
+
+    /// Usable bytes in the block at `ptr` (size-class rounding makes
+    /// this ≥ the requested size).
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be a live block of this instance.
+    pub unsafe fn block_usable_size(&self, ptr: *mut u8) -> usize {
+        let prefix_addr = ptr as usize - PREFIX_SIZE;
+        let prefix =
+            unsafe { (*(prefix_addr as *const AtomicUsize)).load(Ordering::Relaxed) };
+        if prefix & crate::large::LARGE_FLAG != 0 {
+            return unsafe { crate::large::usable_size_large(ptr, prefix) };
+        }
+        let desc = unsafe { &*(prefix as *const crate::descriptor::Descriptor) };
+        let sz = desc.sz() as usize;
+        let sb = desc.sb() as usize;
+        let idx = (prefix_addr - sb) / sz;
+        let block_end = sb + (idx + 1) * sz;
+        block_end - ptr as usize
+    }
+
+    /// Frees a block returned by [`allocate`](Self::allocate) (or by the
+    /// `RawMalloc` methods).
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be null or a live block of this instance.
+    pub unsafe fn deallocate(&self, ptr: *mut u8) {
+        if ptr.is_null() {
+            return;
+        }
+        let inner = self.inner();
+        // Read the prefix: a descriptor pointer (even) or the
+        // large-block marker (odd).
+        let prefix = unsafe {
+            (*( (ptr as usize - PREFIX_SIZE) as *const AtomicUsize)).load(Ordering::Relaxed)
+        };
+        if prefix & crate::large::LARGE_FLAG != 0 {
+            unsafe { crate::large::free_large(inner, ptr, prefix) };
+        } else {
+            unsafe {
+                crate::free_impl::free_small(
+                    inner,
+                    ptr,
+                    prefix as *mut crate::descriptor::Descriptor,
+                )
+            };
+        }
+    }
+}
+
+unsafe impl<S: PageSource + Send + Sync> RawMalloc for LfMalloc<S> {
+    unsafe fn malloc(&self, size: usize) -> *mut u8 {
+        unsafe { self.allocate(size, PREFIX_SIZE) }
+    }
+
+    unsafe fn free(&self, ptr: *mut u8) {
+        unsafe { self.deallocate(ptr) }
+    }
+
+    fn name(&self) -> &str {
+        "lfmalloc"
+    }
+
+    unsafe fn malloc_aligned(&self, size: usize, align: usize) -> *mut u8 {
+        unsafe { self.allocate(size, align) }
+    }
+
+    unsafe fn usable_size(&self, ptr: *mut u8) -> usize {
+        unsafe { self.block_usable_size(ptr) }
+    }
+
+    fn stats(&self) -> AllocStats {
+        self.os_stats()
+    }
+}
+
+impl<S: PageSource> Drop for LfMalloc<S> {
+    fn drop(&mut self) {
+        unsafe {
+            let inner = self.inner.as_ptr();
+            // 1. Drain the hazard domain: retired descriptors return to
+            //    DescAvail, retired queue nodes to their pools. Contexts
+            //    (pools) are still alive.
+            core::ptr::drop_in_place(core::ptr::addr_of_mut!((*inner).domain));
+            // 2. Release bulk memory: superblock hyperblocks, then the
+            //    descriptor slabs.
+            (*inner).sb_pool.release_all(&(*inner).source);
+            (*inner).desc_pool.release_all(&(*inner).source);
+            // 3. Drop the remaining owning fields exactly once each.
+            core::ptr::drop_in_place(core::ptr::addr_of_mut!((*inner).desc_pool));
+            core::ptr::drop_in_place(core::ptr::addr_of_mut!((*inner).sb_pool));
+            core::ptr::drop_in_place(core::ptr::addr_of_mut!((*inner).classes));
+            core::ptr::drop_in_place(core::ptr::addr_of_mut!((*inner).source));
+            // 4. Free the heap table and the instance block (plain data).
+            let nheaps = (*inner).nheaps;
+            let heaps_layout = Layout::array::<ProcHeap>(NUM_CLASSES * nheaps).unwrap();
+            System.dealloc((*inner).heaps as *mut u8, heaps_layout);
+            System.dealloc(inner as *mut u8, Layout::new::<Inner<S>>());
+        }
+    }
+}
+
+impl<S: PageSource> core::fmt::Debug for LfMalloc<S> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("LfMalloc")
+            .field("config", &self.inner().config)
+            .field("hyperblocks", &self.hyperblock_count())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::active::Active;
+    use crate::anchor::SbState;
+
+    #[test]
+    fn first_malloc_installs_an_active_superblock() {
+        let a = LfMalloc::with_config(Config::with_heaps(2));
+        let ci = class_index(16).unwrap();
+        unsafe {
+            let p = a.malloc(8);
+            assert!(!p.is_null());
+            // Exactly one heap of the 16-byte class is now active.
+            let actives: Vec<Active> =
+                (0..2).map(|h| a.inner().heap_at(ci, h).load_active()).collect();
+            let installed: Vec<&Active> = actives.iter().filter(|x| !x.is_null()).collect();
+            assert_eq!(installed.len(), 1);
+            let active = installed[0];
+            let desc = &*active.desc();
+            assert_eq!(desc.sz(), 16);
+            assert_eq!(desc.maxcount(), 1024);
+            assert_eq!(desc.load_anchor().state(), SbState::Active);
+            // Credits + anchor count account for all but the one
+            // allocated block.
+            let anchor = desc.load_anchor();
+            assert_eq!(
+                active.credits() + 1 + anchor.count(),
+                desc.maxcount() - 1,
+                "credit conservation"
+            );
+            a.free(p);
+        }
+    }
+
+    #[test]
+    fn freeing_last_block_empties_and_recycles() {
+        let a = LfMalloc::with_config(Config::with_heaps(1));
+        unsafe {
+            let p = a.malloc(4_000); // class 4096: 4 blocks per superblock
+            let q = a.malloc(4_000);
+            let hyper_before = a.hyperblock_count();
+            a.free(p);
+            a.free(q);
+            // Allocating again must reuse the recycled superblock.
+            let r = a.malloc(4_000);
+            assert_eq!(a.hyperblock_count(), hyper_before);
+            a.free(r);
+        }
+    }
+
+    #[test]
+    fn heap_for_respects_single_mode() {
+        let a = LfMalloc::with_config(Config::uniprocessor());
+        let ci = class_index(64).unwrap();
+        let h1 = a.inner().heap_for(ci) as *const ProcHeap;
+        let h2 = a.inner().heap_at(ci, 0) as *const ProcHeap;
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn os_stats_cover_descriptor_slabs() {
+        let a = LfMalloc::new_default();
+        unsafe {
+            let p = a.malloc(8);
+            // One superblock hyperblock (1 MiB) + one descriptor slab
+            // (16 KiB) at minimum.
+            let st = a.os_stats();
+            assert!(st.live_bytes >= (1 << 20) + (1 << 14), "stats: {st}");
+            a.free(p);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Large blocks: allocated directly from the OS, freed directly to the
+//! OS (§3.1 / Figure 4 lines 2–3, Figure 6 lines 4–5).
+//!
+//! Layout of a large allocation:
+//!
+//! ```text
+//! base (page aligned, >= align)
+//! │ [ header: total_size | log2(os_align) ]   8 bytes
+//! │ [ ...padding to satisfy user alignment... ]
+//! │ [ prefix: (user_offset << 1) | 1 ]        8 bytes at user-8
+//! └─[ user data: `size` bytes ]               at base + user_offset
+//! ```
+//!
+//! The odd prefix word is the paper's "large block bit": `free` reads
+//! the word before the user pointer and dispatches on the low bit
+//! ("Large block - desc holds sz+1"). Descriptors are 64-byte aligned so
+//! a genuine descriptor pointer is always even.
+
+use crate::config::PREFIX_SIZE;
+use crate::instance::Inner;
+use core::sync::atomic::{AtomicUsize, Ordering};
+use malloc_api::layout::align_up;
+use osmem::source::{pages_for, PAGE_SIZE};
+use osmem::PageSource;
+
+/// Low prefix bit marking a large block.
+pub(crate) const LARGE_FLAG: usize = 1;
+
+/// The OS alignment exponent is stashed in the low bits of the header
+/// word (total size is page-aligned, so its low 12 bits are free).
+const ALIGN_EXP_MASK: usize = (1 << PAGE_SIZE.trailing_zeros()) - 1;
+
+/// Allocates a large block of `size` bytes at `align`.
+pub(crate) unsafe fn alloc_large<S: PageSource>(
+    inner: &Inner<S>,
+    size: usize,
+    align: usize,
+) -> *mut u8 {
+    // User data starts at least 16 bytes in: 8 for the header word at
+    // base, 8 for the prefix at user-8.
+    let user_off = align_up(2 * PREFIX_SIZE, align.max(PREFIX_SIZE));
+    // Checked rounding: near-usize::MAX requests must fail cleanly, not
+    // wrap into tiny page counts.
+    let Some(needed) = size.checked_add(user_off) else {
+        return core::ptr::null_mut();
+    };
+    let Some(padded) = needed.checked_add(PAGE_SIZE - 1) else {
+        return core::ptr::null_mut();
+    };
+    let total = pages_for(padded & !(PAGE_SIZE - 1));
+    let os_align = align.max(PAGE_SIZE);
+    let base = unsafe { inner.source.alloc_pages(total, os_align) };
+    if base.is_null() {
+        return core::ptr::null_mut();
+    }
+    debug_assert_eq!(total & ALIGN_EXP_MASK, 0);
+    let header = total | os_align.trailing_zeros() as usize;
+    unsafe {
+        (*(base as *const AtomicUsize)).store(header, Ordering::Relaxed);
+        let user = base.add(user_off);
+        (*(user.sub(PREFIX_SIZE) as *const AtomicUsize))
+            .store((user_off << 1) | LARGE_FLAG, Ordering::Relaxed);
+        inner.large_live.fetch_add(1, Ordering::Relaxed);
+        user
+    }
+}
+
+/// Usable bytes of a large block given its user pointer and prefix.
+pub(crate) unsafe fn usable_size_large(ptr: *mut u8, prefix: usize) -> usize {
+    debug_assert_eq!(prefix & LARGE_FLAG, LARGE_FLAG);
+    let user_off = prefix >> 1;
+    let base = ptr as usize - user_off;
+    let header = unsafe { (*(base as *const AtomicUsize)).load(Ordering::Relaxed) };
+    let total = header & !ALIGN_EXP_MASK;
+    total - user_off
+}
+
+/// Frees a large block given its user pointer and (odd) prefix word.
+pub(crate) unsafe fn free_large<S: PageSource>(inner: &Inner<S>, ptr: *mut u8, prefix: usize) {
+    debug_assert_eq!(prefix & LARGE_FLAG, LARGE_FLAG);
+    let user_off = prefix >> 1;
+    let base = unsafe { ptr.sub(user_off) };
+    let header = unsafe { (*(base as *const AtomicUsize)).load(Ordering::Relaxed) };
+    let total = header & !ALIGN_EXP_MASK;
+    let os_align = 1usize << (header & ALIGN_EXP_MASK);
+    unsafe { inner.source.dealloc_pages(base, total, os_align) };
+    inner.large_live.fetch_sub(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_packing_roundtrip() {
+        // total is page aligned; align exponent fits in the low bits.
+        let total = 7 * PAGE_SIZE;
+        let os_align = 1usize << 20;
+        let header = total | os_align.trailing_zeros() as usize;
+        assert_eq!(header & !ALIGN_EXP_MASK, total);
+        assert_eq!(1usize << (header & ALIGN_EXP_MASK), os_align);
+    }
+
+    #[test]
+    fn default_user_offset_is_16() {
+        assert_eq!(align_up(2 * PREFIX_SIZE, PREFIX_SIZE), 16);
+        assert_eq!(align_up(2 * PREFIX_SIZE, 64), 64);
+        assert_eq!(align_up(2 * PREFIX_SIZE, 4096), 4096);
+    }
+}

@@ -1,0 +1,74 @@
+//! A completely lock-free dynamic memory allocator — a from-scratch Rust
+//! reproduction of Maged M. Michael, *Scalable Lock-Free Dynamic Memory
+//! Allocation*, PLDI 2004.
+//!
+//! # What the paper builds
+//!
+//! A `malloc`/`free` pair that is *lock-free*: whenever any thread takes
+//! a finite number of steps, some allocator operation completes,
+//! regardless of how other threads are delayed, preempted, or killed.
+//! This yields deadlock immunity, async-signal-safety, priority-inversion
+//! tolerance, kill-tolerant availability, and preemption tolerance —
+//! without kernel support and using only single-word CAS.
+//!
+//! # Structure (paper §3)
+//!
+//! * Large blocks go straight to the OS ([`large`]).
+//! * Small blocks come from 16 KiB **superblocks** divided into
+//!   equal-size blocks; superblocks belong to **size classes**
+//!   ([`size_classes`]), each size class has multiple **processor
+//!   heaps** ([`heap`]).
+//! * Each superblock is described by a **descriptor** ([`descriptor`])
+//!   whose [`Anchor`](anchor::Anchor) word (avail index, free count,
+//!   state, ABA tag) is updated with single CAS operations.
+//! * Each heap's [`Active`](active::Active) word packs a descriptor
+//!   pointer with a **credits** count so the common malloc path is one
+//!   CAS to reserve plus one CAS to pop ([`alloc`]).
+//! * A typical free is a single CAS push onto the superblock's free list
+//!   ([`free_impl`]).
+//! * Retired descriptors are recycled through hazard pointers (the
+//!   paper's `SafeCAS`); size-class partial-superblock lists are
+//!   lock-free FIFO queues ([`partial`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use lfmalloc::LfMalloc;
+//! use malloc_api::RawMalloc;
+//!
+//! let alloc = LfMalloc::new_default();
+//! unsafe {
+//!     let p = alloc.malloc(100);
+//!     assert!(!p.is_null());
+//!     core::ptr::write_bytes(p, 42, 100);
+//!     alloc.free(p);
+//! }
+//! ```
+//!
+//! To install it as the Rust global allocator, see [`global::GlobalLfMalloc`].
+//!
+//! # Deviations from the paper
+//!
+//! Documented centrally in `DESIGN.md`; the load-bearing ones:
+//! anchor bit-field widths are 12/12/2/38 instead of 10/10/2/42 (so a
+//! 16 KiB superblock of 16-byte blocks fits), the block prefix
+//! generalizes to alignments above 8, and empty superblocks return to a
+//! never-unmapped page pool rather than `munmap` (the paper's hyperblock
+//! scheme, §3.2.5).
+
+pub mod active;
+pub mod alloc;
+pub mod anchor;
+pub mod config;
+pub mod descriptor;
+pub mod free_impl;
+pub mod global;
+pub mod heap;
+pub mod instance;
+pub mod large;
+pub mod partial;
+pub mod size_classes;
+
+pub use config::{Config, HeapMode, PartialMode};
+pub use global::GlobalLfMalloc;
+pub use instance::LfMalloc;

@@ -1,0 +1,272 @@
+//! Size-class partial-superblock lists (§3.2.6).
+//!
+//! Three operations are required: `ListPutPartial`, `ListGetPartial`,
+//! and `ListRemoveEmptyDesc` ("to ensure that empty descriptors are
+//! eventually made available for reuse"). The paper describes two
+//! organizations and prefers the FIFO one:
+//!
+//! * **FIFO** (preferred): a Michael–Scott queue. Put enqueues at the
+//!   tail, get dequeues from the head; remove-empty "keeps dequeuing
+//!   descriptors from the head of the list until it dequeues a non-empty
+//!   descriptor or reaches the end", re-enqueueing the non-empty one.
+//!   This "reduces the chances of contention and false sharing".
+//! * **LIFO**: a Treiber-style list. The paper sketches it with a
+//!   lock-free linked list that can unlink from the middle; we
+//!   approximate mid-removal with pop-filter-repush on a tag-protected
+//!   stack (descriptor slabs are never unmapped, so traversal is safe).
+//!   Kept as the A1 ablation.
+
+use crate::anchor::SbState;
+use crate::config::PartialMode;
+use crate::descriptor::{Descriptor, DescriptorPool};
+use hazard::HazardDomain;
+use lockfree_structs::list::RawList;
+use lockfree_structs::queue::RawQueue;
+use lockfree_structs::TaggedStack;
+
+/// One size class's partial list, in the configured organization.
+#[derive(Debug)]
+pub enum PartialList {
+    /// Michael–Scott FIFO of descriptor pointers.
+    Fifo(RawQueue),
+    /// Tag-protected LIFO of descriptors. The link is threaded through
+    /// the descriptor's `next` field (byte offset 8 — the first word is
+    /// the live `Anchor`, which frees still CAS while the descriptor
+    /// sits in a partial list). Descriptor slabs are never unmapped, so
+    /// tag-protected traversal is safe.
+    Lifo(TaggedStack<6, 8>),
+    /// Michael's ordered lock-free list keyed by descriptor address,
+    /// with true mid-list removal of empty descriptors (§3.2.6's first
+    /// option).
+    List(RawList),
+}
+
+impl PartialList {
+    /// Creates an empty list in the given mode. FIFO lists need
+    /// [`init`](Self::init) before use.
+    pub const fn new(mode: PartialMode) -> Self {
+        match mode {
+            PartialMode::Fifo => PartialList::Fifo(RawQueue::new()),
+            PartialMode::Lifo => PartialList::Lifo(TaggedStack::new()),
+            PartialMode::List => PartialList::List(RawList::new()),
+        }
+    }
+
+    /// One-time initialization (allocates the FIFO dummy node).
+    ///
+    /// # Safety
+    ///
+    /// Single-threaded, before any use; `self` must not move afterwards.
+    pub unsafe fn init(&self, domain: &HazardDomain) {
+        if let PartialList::Fifo(q) = self {
+            unsafe { q.init(domain) };
+        }
+    }
+
+    /// `ListPutPartial(desc)`.
+    ///
+    /// # Safety
+    ///
+    /// `desc` must be a live descriptor not present in any other
+    /// allocator structure.
+    pub unsafe fn put(&self, domain: &HazardDomain, desc: *mut Descriptor) {
+        match self {
+            PartialList::Fifo(q) => unsafe { q.enqueue(domain, desc as usize) },
+            PartialList::Lifo(s) => unsafe { s.push(desc as usize) },
+            PartialList::List(l) => {
+                let fresh = unsafe { l.insert(domain, desc as usize) };
+                debug_assert!(fresh, "descriptor {desc:p} inserted twice");
+            }
+        }
+    }
+
+    /// `ListGetPartial()`: removes and returns some partial descriptor.
+    ///
+    /// # Safety
+    ///
+    /// `init` must have completed with this `domain`.
+    pub unsafe fn get(&self, domain: &HazardDomain) -> Option<*mut Descriptor> {
+        match self {
+            PartialList::Fifo(q) => unsafe { q.dequeue(domain) }.map(|v| v as *mut Descriptor),
+            PartialList::Lifo(s) => unsafe { s.pop() }.map(|v| v as *mut Descriptor),
+            PartialList::List(l) => {
+                unsafe { l.pop_first(domain) }.map(|v| v as *mut Descriptor)
+            }
+        }
+    }
+
+    /// `ListRemoveEmptyDesc()`: retires dequeued EMPTY descriptors until
+    /// a non-empty one (re-inserted) or the end of the list. Guarantees
+    /// empty descriptors do not accumulate unboundedly.
+    ///
+    /// # Safety
+    ///
+    /// `pool` must be the instance's descriptor pool and `domain` its
+    /// hazard domain.
+    pub unsafe fn remove_empty(&self, domain: &HazardDomain, pool: &DescriptorPool) {
+        // The ordered-list organization can unlink an empty descriptor
+        // from the middle directly, the paper's first option.
+        if let PartialList::List(l) = self {
+            let removed = unsafe {
+                l.remove_first_where(domain, |addr| {
+                    (*(addr as *const Descriptor)).load_anchor().state() == SbState::Empty
+                })
+            };
+            if let Some(addr) = removed {
+                unsafe { pool.retire(domain, addr as *mut Descriptor) };
+            }
+            return;
+        }
+        loop {
+            let Some(desc) = (unsafe { self.get(domain) }) else { return };
+            if unsafe { (*desc).load_anchor() }.state() == SbState::Empty {
+                // Retire and keep going, per the paper: "keeps dequeuing
+                // descriptors from the head of the list until it dequeues
+                // a non-empty descriptor or reaches the end".
+                unsafe { pool.retire(domain, desc) };
+                continue;
+            }
+            // Non-empty: re-insert (FIFO: at the tail) and stop.
+            unsafe { self.put(domain, desc) };
+            return;
+        }
+    }
+
+    /// Best-effort emptiness check (diagnostics).
+    pub fn is_empty_hint(&self) -> bool {
+        match self {
+            PartialList::Fifo(q) => q.is_empty_hint(),
+            PartialList::Lifo(s) => s.is_empty(),
+            PartialList::List(l) => l.is_empty_hint(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anchor::Anchor;
+    use osmem::SystemSource;
+
+    fn setup() -> (SystemSource, Box<HazardDomain>, Box<DescriptorPool>) {
+        (SystemSource::new(), Box::new(HazardDomain::new()), Box::new(DescriptorPool::new()))
+    }
+
+    fn teardown(src: SystemSource, domain: Box<HazardDomain>, pool: Box<DescriptorPool>) {
+        drop(domain);
+        unsafe { pool.release_all(&src) };
+    }
+
+    fn make_desc(
+        pool: &DescriptorPool,
+        domain: &HazardDomain,
+        src: &SystemSource,
+        state: SbState,
+    ) -> *mut Descriptor {
+        let d = unsafe { pool.alloc(domain, src) };
+        assert!(!d.is_null());
+        unsafe { (*d).store_anchor(Anchor::new(0, 1, state)) };
+        d
+    }
+
+    #[test]
+    fn fifo_put_get_roundtrip() {
+        let (src, domain, pool) = setup();
+        let list = Box::new(PartialList::new(PartialMode::Fifo));
+        unsafe { list.init(&domain) };
+        let d1 = make_desc(&pool, &domain, &src, SbState::Partial);
+        let d2 = make_desc(&pool, &domain, &src, SbState::Partial);
+        unsafe {
+            list.put(&domain, d1);
+            list.put(&domain, d2);
+            assert_eq!(list.get(&domain), Some(d1), "FIFO order");
+            assert_eq!(list.get(&domain), Some(d2));
+            assert_eq!(list.get(&domain), None);
+        }
+        drop(list);
+        teardown(src, domain, pool);
+    }
+
+    #[test]
+    fn lifo_put_get_roundtrip() {
+        let (src, domain, pool) = setup();
+        let list = Box::new(PartialList::new(PartialMode::Lifo));
+        unsafe { list.init(&domain) };
+        let d1 = make_desc(&pool, &domain, &src, SbState::Partial);
+        let d2 = make_desc(&pool, &domain, &src, SbState::Partial);
+        unsafe {
+            list.put(&domain, d1);
+            list.put(&domain, d2);
+            assert_eq!(list.get(&domain), Some(d2), "LIFO order");
+            assert_eq!(list.get(&domain), Some(d1));
+            assert_eq!(list.get(&domain), None);
+        }
+        drop(list);
+        teardown(src, domain, pool);
+    }
+
+    #[test]
+    fn remove_empty_retires_leading_empties() {
+        for mode in [PartialMode::Fifo, PartialMode::Lifo, PartialMode::List] {
+            let (src, domain, pool) = setup();
+            let list = Box::new(PartialList::new(mode));
+            unsafe { list.init(&domain) };
+            let empty = make_desc(&pool, &domain, &src, SbState::Empty);
+            let partial = make_desc(&pool, &domain, &src, SbState::Partial);
+            unsafe {
+                // Order the empty one at the removal end.
+                match mode {
+                    PartialMode::Fifo | PartialMode::List => {
+                        list.put(&domain, empty);
+                        list.put(&domain, partial);
+                    }
+                    PartialMode::Lifo => {
+                        list.put(&domain, partial);
+                        list.put(&domain, empty);
+                    }
+                }
+                list.remove_empty(&domain, &pool);
+                domain.flush();
+                // The empty desc went back to the pool; the partial one
+                // is still in the list.
+                assert_eq!(list.get(&domain), Some(partial));
+                assert_eq!(list.get(&domain), None);
+            }
+            drop(list);
+            teardown(src, domain, pool);
+        }
+    }
+
+    #[test]
+    fn remove_empty_reinserts_nonempty_and_stops() {
+        let (src, domain, pool) = setup();
+        let list = Box::new(PartialList::new(PartialMode::Fifo));
+        unsafe { list.init(&domain) };
+        let partial = make_desc(&pool, &domain, &src, SbState::Partial);
+        let empty = make_desc(&pool, &domain, &src, SbState::Empty);
+        unsafe {
+            list.put(&domain, partial);
+            list.put(&domain, empty); // behind the non-empty one
+            list.remove_empty(&domain, &pool);
+            // Stopped at the non-empty head; empty still queued, partial
+            // moved to the tail.
+            assert_eq!(list.get(&domain), Some(empty));
+            assert_eq!(list.get(&domain), Some(partial));
+        }
+        drop(list);
+        teardown(src, domain, pool);
+    }
+
+    #[test]
+    fn remove_empty_on_empty_list_is_noop() {
+        let (src, domain, pool) = setup();
+        let list = Box::new(PartialList::new(PartialMode::Fifo));
+        unsafe {
+            list.init(&domain);
+            list.remove_empty(&domain, &pool);
+        }
+        assert!(list.is_empty_hint());
+        drop(list);
+        teardown(src, domain, pool);
+    }
+}

@@ -1,0 +1,200 @@
+//! Size classes: the mapping from request sizes to block sizes.
+//!
+//! "Superblocks are distributed among size classes based on their block
+//! sizes" (§3.1). The paper does not prescribe a class table; we use the
+//! conventional geometric-ish ladder (16-byte granularity at the bottom,
+//! ~12.5% steps above), with every class a multiple of 16 so blocks are
+//! 16-aligned within the 16 KiB-aligned superblock.
+//!
+//! Block sizes are *total* sizes — they include the 8-byte prefix — so
+//! the 8-byte requests of the paper's benchmarks land in the 16-byte
+//! class, exactly as in the paper ("Each block includes an 8 byte
+//! prefix").
+//!
+//! Sizes above [`MAX_SMALL_TOTAL`] bypass the size classes and go
+//! straight to the OS (`large` module).
+
+use crate::config::SB_SIZE;
+
+/// Number of small size classes.
+pub const NUM_CLASSES: usize = 56;
+
+/// Largest total block size served from superblocks. Anything bigger is
+/// a "large block ... allocated directly from the OS".
+pub const MAX_SMALL_TOTAL: usize = 8192;
+
+/// Granularity of the lookup table.
+const GRAIN: usize = 16;
+
+/// Total block sizes (prefix included) of each class, ascending.
+pub const CLASS_SIZES: [u32; NUM_CLASSES] = build_sizes();
+
+const fn build_sizes() -> [u32; NUM_CLASSES] {
+    let mut s = [0u32; NUM_CLASSES];
+    let mut i = 0;
+    // 16..=256 step 16, then doubling bands with 8 steps each.
+    let mut v = 16;
+    while v <= 256 {
+        s[i] = v;
+        i += 1;
+        v += 16;
+    }
+    let bands: [(u32, u32); 5] =
+        [(256, 32), (512, 64), (1024, 128), (2048, 256), (4096, 512)];
+    let mut b = 0;
+    while b < bands.len() {
+        let (base, step) = bands[b];
+        let mut k = 1;
+        while k <= 8 {
+            s[i] = base + step * k;
+            i += 1;
+            k += 1;
+        }
+        b += 1;
+    }
+    assert!(i == NUM_CLASSES);
+    assert!(s[NUM_CLASSES - 1] == MAX_SMALL_TOTAL as u32);
+    s
+}
+
+/// `size/16 -> class` lookup table (computed at compile time), covering
+/// total sizes `0..=MAX_SMALL_TOTAL`.
+static LUT: [u8; MAX_SMALL_TOTAL / GRAIN + 1] = build_lut();
+
+const fn build_lut() -> [u8; MAX_SMALL_TOTAL / GRAIN + 1] {
+    let mut lut = [0u8; MAX_SMALL_TOTAL / GRAIN + 1];
+    let mut slot = 0;
+    let mut class = 0;
+    while slot < lut.len() {
+        let size = slot * GRAIN;
+        while CLASS_SIZES[class] < size as u32 {
+            class += 1;
+        }
+        lut[slot] = class as u8;
+        slot += 1;
+    }
+    lut
+}
+
+/// Maps a *total* block size (request + prefix) to a class index, or
+/// `None` for large blocks.
+///
+/// # Example
+///
+/// ```
+/// use lfmalloc::size_classes::{class_index, CLASS_SIZES};
+/// // An 8-byte request plus the 8-byte prefix: the 16-byte class.
+/// let c = class_index(16).unwrap();
+/// assert_eq!(CLASS_SIZES[c], 16);
+/// assert!(class_index(9000).is_none());
+/// ```
+#[inline]
+pub fn class_index(total_size: usize) -> Option<usize> {
+    if total_size > MAX_SMALL_TOTAL {
+        return None;
+    }
+    let slot = total_size.div_ceil(GRAIN);
+    Some(LUT[slot] as usize)
+}
+
+/// Maps a (total size, alignment) pair to the smallest class whose block
+/// size is a multiple of `align` and at least `total_size`. `None` if no
+/// small class fits; caller falls back to the large path.
+///
+/// Within a superblock, block `i` starts at `sb + i*sz` and the
+/// superblock base is 16 KiB-aligned, so `sz % align == 0` guarantees
+/// every block start is `align`-aligned.
+pub fn class_index_aligned(total_size: usize, align: usize) -> Option<usize> {
+    debug_assert!(align.is_power_of_two());
+    let start = class_index(total_size)?;
+    CLASS_SIZES[start..]
+        .iter()
+        .position(|&sz| sz as usize % align == 0)
+        .map(|off| start + off)
+}
+
+/// Blocks per superblock for class `ci`.
+#[inline]
+pub fn blocks_per_superblock(ci: usize) -> u32 {
+    (SB_SIZE / CLASS_SIZES[ci] as usize) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn table_is_ascending_multiples_of_16() {
+        for w in CLASS_SIZES.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for &s in &CLASS_SIZES {
+            assert_eq!(s % 16, 0, "class {s} not 16-aligned");
+        }
+        assert_eq!(CLASS_SIZES[0], 16);
+        assert_eq!(CLASS_SIZES[NUM_CLASSES - 1] as usize, MAX_SMALL_TOTAL);
+    }
+
+    #[test]
+    fn every_class_has_at_least_two_blocks() {
+        // MallocFromNewSB computes credits = min(maxcount-1, MAXCREDITS)-1,
+        // which requires maxcount >= 2.
+        for ci in 0..NUM_CLASSES {
+            assert!(blocks_per_superblock(ci) >= 2, "class {ci} too large for superblock");
+        }
+    }
+
+    #[test]
+    fn class_population_fits_anchor_fields() {
+        for ci in 0..NUM_CLASSES {
+            assert!(blocks_per_superblock(ci) <= crate::anchor::MAX_BLOCKS);
+        }
+    }
+
+    #[test]
+    fn boundary_lookups() {
+        assert_eq!(CLASS_SIZES[class_index(1).unwrap()], 16);
+        assert_eq!(CLASS_SIZES[class_index(16).unwrap()], 16);
+        assert_eq!(CLASS_SIZES[class_index(17).unwrap()], 32);
+        assert_eq!(CLASS_SIZES[class_index(8192).unwrap()], 8192);
+        assert!(class_index(8193).is_none());
+        assert_eq!(CLASS_SIZES[class_index(0).unwrap()], 16);
+    }
+
+    #[test]
+    fn aligned_lookup_prefers_smallest_fitting_class() {
+        // 100 bytes at align 64: needs sz >= 100 and sz % 64 == 0 -> 128.
+        let ci = class_index_aligned(100, 64).unwrap();
+        assert_eq!(CLASS_SIZES[ci], 128);
+        // align 16 is free: every class qualifies.
+        let ci = class_index_aligned(100, 16).unwrap();
+        assert_eq!(CLASS_SIZES[ci], 112);
+        // enormous alignment within small range: 4096.
+        let ci = class_index_aligned(10, 4096).unwrap();
+        assert_eq!(CLASS_SIZES[ci], 4096);
+    }
+
+    proptest! {
+        #[test]
+        fn lookup_is_tight(total in 1usize..=MAX_SMALL_TOTAL) {
+            let ci = class_index(total).unwrap();
+            let sz = CLASS_SIZES[ci] as usize;
+            prop_assert!(sz >= total, "class {sz} too small for {total}");
+            if ci > 0 {
+                prop_assert!((CLASS_SIZES[ci - 1] as usize) < total,
+                    "class below ({}) would also fit {total}", CLASS_SIZES[ci - 1]);
+            }
+        }
+
+        #[test]
+        fn aligned_lookup_is_correct(total in 1usize..=4096, shift in 3u32..9) {
+            let align = 1usize << shift;
+            if let Some(ci) = class_index_aligned(total, align) {
+                let sz = CLASS_SIZES[ci] as usize;
+                prop_assert!(sz >= total);
+                prop_assert_eq!(sz % align, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Lock-free building blocks used by the PLDI 2004 allocator
+//! reproduction.
+//!
+//! The paper composes its allocator from a handful of classic lock-free
+//! structures, all of which are implemented here from scratch:
+//!
+//! * [`tagptr`] — the "classic IBM tag mechanism" (System/370 Principles
+//!   of Operation) packing a pointer and an ABA-prevention tag into one
+//!   CAS-able word. The allocator uses it for the `Anchor` field and for
+//!   page-pool free lists.
+//! * [`stack`] — Treiber/IBM-freelist LIFO stacks: a tag-protected
+//!   variant ([`stack::TaggedStack`]) and a hazard-pointer-protected
+//!   variant ([`stack::HpStack`], the paper's `DescAvail` list with
+//!   `SafeCAS`).
+//! * [`queue`] — the Michael–Scott FIFO queue (PODC 1996) with
+//!   hazard-pointer memory management, "with optimized memory
+//!   management" (§3.2.6): nodes come from an internal never-unmapped
+//!   slab pool, so the queue itself needs no general-purpose malloc —
+//!   which would be circular inside an allocator.
+//! * [`list`] — Michael's lock-free ordered list / list-based set
+//!   (SPAA 2002, the paper's ref [16]) with hazard-pointer reclamation
+//!   and mid-list removal — the basis of the paper's LIFO partial-list
+//!   variant and of lock-free hash tables.
+//! * [`backoff`] — bounded exponential backoff for CAS retry loops.
+//! * [`pad`] — cache-line padding to keep unrelated hot words from
+//!   false sharing.
+//!
+//! None of this code allocates through the Rust global allocator; slab
+//! refills call `std::alloc::System` directly (the moral equivalent of
+//! the paper's `mmap` slow path).
+
+pub mod backoff;
+pub mod list;
+pub mod pad;
+pub mod queue;
+pub mod stack;
+pub mod tagptr;
+
+pub use backoff::Backoff;
+pub use list::OrderedSet;
+pub use pad::CachePadded;
+pub use queue::Queue;
+pub use stack::{HpStack, Intrusive, TaggedStack};
+pub use tagptr::TagPtr;

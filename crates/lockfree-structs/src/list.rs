@@ -1,0 +1,612 @@
+//! Michael's lock-free ordered linked list (list-based set).
+//!
+//! This is the structure of "High performance dynamic lock-free hash
+//! tables and list-based sets" (SPAA 2002), cited by the allocator paper
+//! as [16]: §3.2.6 proposes managing each size class's partial list with
+//! "the simpler version in [19] of the lock-free linked list algorithm
+//! in [16] ... with the possibility of removing descriptors from the
+//! middle of the list". The `PartialMode::List` configuration of
+//! lfmalloc uses exactly that.
+//!
+//! Keys are ordered `usize` values (for the allocator: descriptor
+//! addresses). Deletion is two-phase: a CAS sets the *mark bit* in the
+//! victim's `next` pointer (logical delete), then the node is physically
+//! unlinked — by the deleter or by any later traversal that encounters
+//! the mark — and retired through the hazard domain.
+//!
+//! Hazard slots 0, 1 and 2 protect `curr`, `next`, and the previous
+//! node during traversal, per Michael's original scheme.
+
+use crate::queue::SLOT_FREE;
+use crate::stack::{HpStack, Intrusive};
+use core::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use hazard::{HazardDomain, Slot};
+use std::alloc::{GlobalAlloc, Layout, System};
+
+const SLOT_CURR: Slot = Slot(0);
+const SLOT_NEXT: Slot = Slot(1);
+const SLOT_PREV: Slot = Slot(2);
+
+/// List node: key + mark-carrying next pointer.
+#[repr(C)]
+#[derive(Debug)]
+pub struct ListNode {
+    /// Marked next pointer (low bit = logically deleted).
+    next: AtomicUsize,
+    /// Immutable while linked.
+    key: AtomicUsize,
+    /// Free-list link (disjoint lifetime from `next` usage).
+    pool_link: AtomicPtr<ListNode>,
+}
+
+unsafe impl Intrusive for ListNode {
+    fn next_link(&self) -> &AtomicPtr<ListNode> {
+        &self.pool_link
+    }
+}
+
+const MARK: usize = 1;
+
+#[inline]
+fn unmarked(p: usize) -> *mut ListNode {
+    (p & !MARK) as *mut ListNode
+}
+
+#[inline]
+fn is_marked(p: usize) -> bool {
+    p & MARK != 0
+}
+
+const NODES_PER_SLAB: usize = 64;
+
+#[repr(C)]
+struct SlabHeader {
+    next: *mut SlabHeader,
+}
+
+fn slab_layout() -> Layout {
+    Layout::new::<SlabHeader>()
+        .extend(Layout::array::<ListNode>(NODES_PER_SLAB).unwrap())
+        .unwrap()
+        .0
+        .pad_to_align()
+}
+
+/// A lock-free sorted set of `usize` keys, embeddable like
+/// [`RawQueue`](crate::queue::RawQueue): the caller owns the hazard
+/// domain and guarantees address stability.
+#[derive(Debug)]
+pub struct RawList {
+    head: AtomicUsize, // marked pointer representation (mark unused at head)
+    free: HpStack<ListNode>,
+    slabs: AtomicPtr<SlabHeader>,
+}
+
+unsafe impl Send for RawList {}
+unsafe impl Sync for RawList {}
+
+/// Result of the internal `find`.
+struct FindResult {
+    found: bool,
+    /// Address of the link that points at `curr` (the head or a node's
+    /// `next` field).
+    prev_link: *const AtomicUsize,
+    curr: *mut ListNode,
+}
+
+impl RawList {
+    /// Creates an empty list (no allocation until first insert).
+    pub const fn new() -> Self {
+        RawList {
+            head: AtomicUsize::new(0),
+            free: HpStack::new(),
+            slabs: AtomicPtr::new(core::ptr::null_mut()),
+        }
+    }
+
+    unsafe fn alloc_node(&self, domain: &HazardDomain) -> *mut ListNode {
+        if let Some(n) = unsafe { self.free.pop(domain, SLOT_FREE) } {
+            return n;
+        }
+        let layout = slab_layout();
+        let raw = unsafe { System.alloc(layout) };
+        assert!(!raw.is_null(), "list node slab allocation failed");
+        let header = raw as *mut SlabHeader;
+        let mut head = self.slabs.load(Ordering::Acquire);
+        loop {
+            unsafe { (*header).next = head };
+            match self.slabs.compare_exchange_weak(
+                head,
+                header,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(observed) => head = observed,
+            }
+        }
+        let nodes = unsafe { raw.add(core::mem::size_of::<SlabHeader>()) } as *mut ListNode;
+        for i in 0..NODES_PER_SLAB {
+            let n = unsafe { nodes.add(i) };
+            unsafe {
+                n.write(ListNode {
+                    next: AtomicUsize::new(0),
+                    key: AtomicUsize::new(0),
+                    pool_link: AtomicPtr::new(core::ptr::null_mut()),
+                });
+            }
+            if i != 0 {
+                unsafe { self.free.push(n) };
+            }
+        }
+        nodes
+    }
+
+    unsafe fn retire_node(&self, domain: &HazardDomain, node: *mut ListNode) {
+        unsafe fn reclaim(ctx: *mut u8, ptr: *mut u8) {
+            let list = unsafe { &*(ctx as *const RawList) };
+            unsafe { list.free.push(ptr as *mut ListNode) };
+        }
+        unsafe { domain.retire(node as *mut u8, self as *const _ as *mut u8, reclaim) };
+    }
+
+    /// Michael's `Find`: positions hazard-protected (`prev_link`,
+    /// `curr`) such that `curr` is the first unmarked node with
+    /// `key >= target`, unlinking marked nodes along the way.
+    ///
+    /// # Safety
+    ///
+    /// `domain` must be this list's domain; slots 0–2 are clobbered.
+    unsafe fn find(&self, domain: &HazardDomain, target: usize) -> FindResult {
+        'retry: loop {
+            let mut prev_link: *const AtomicUsize = &self.head;
+            let mut curr = unmarked(unsafe { (*prev_link).load(Ordering::Acquire) });
+            domain.clear(SLOT_PREV);
+            loop {
+                if curr.is_null() {
+                    return FindResult { found: false, prev_link, curr };
+                }
+                // Protect curr, validating against prev_link.
+                domain.set(SLOT_CURR, curr);
+                if unmarked(unsafe { (*prev_link).load(Ordering::Acquire) }) != curr {
+                    continue 'retry;
+                }
+                let next_word = unsafe { (*curr).next.load(Ordering::Acquire) };
+                let next = unmarked(next_word);
+                domain.set(SLOT_NEXT, next);
+                if unsafe { (*curr).next.load(Ordering::Acquire) } != next_word {
+                    continue 'retry;
+                }
+                if is_marked(next_word) {
+                    // curr is logically deleted: try to unlink it.
+                    let prev_atomic = unsafe { &*prev_link };
+                    if prev_atomic
+                        .compare_exchange(
+                            curr as usize,
+                            next as usize,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        unsafe { self.retire_node(domain, curr) };
+                    } else {
+                        continue 'retry;
+                    }
+                    curr = next;
+                    continue;
+                }
+                let ckey = unsafe { (*curr).key.load(Ordering::Acquire) };
+                if ckey >= target {
+                    return FindResult { found: ckey == target, prev_link, curr };
+                }
+                // Advance: curr becomes the new prev; keep it protected.
+                domain.set(SLOT_PREV, curr);
+                prev_link = unsafe { &(*curr).next } as *const AtomicUsize;
+                // SLOT_CURR will be re-set at loop top for the new curr.
+                curr = next;
+            }
+        }
+    }
+
+    /// Inserts `key`; returns false if already present.
+    ///
+    /// # Safety
+    ///
+    /// `domain` must be this list's domain for its whole lifetime, and
+    /// `self` must be address-stable.
+    pub unsafe fn insert(&self, domain: &HazardDomain, key: usize) -> bool {
+        debug_assert_eq!(key & MARK, 0, "keys must have a zero low bit");
+        let node = unsafe { self.alloc_node(domain) };
+        unsafe { (*node).key.store(key, Ordering::Relaxed) };
+        loop {
+            let f = unsafe { self.find(domain, key) };
+            if f.found {
+                // Already present: recycle the unused node (never
+                // published, safe to push directly? It WAS popped from
+                // the free stack, so flow through retire).
+                unsafe { self.retire_node(domain, node) };
+                domain.clear_all();
+                return false;
+            }
+            unsafe { (*node).next.store(f.curr as usize, Ordering::Relaxed) };
+            let prev_atomic = unsafe { &*f.prev_link };
+            if prev_atomic
+                .compare_exchange(
+                    f.curr as usize,
+                    node as usize,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                domain.clear_all();
+                return true;
+            }
+        }
+    }
+
+    /// Removes `key`; returns false if absent.
+    ///
+    /// # Safety
+    ///
+    /// As [`insert`](Self::insert).
+    pub unsafe fn remove(&self, domain: &HazardDomain, key: usize) -> bool {
+        loop {
+            let f = unsafe { self.find(domain, key) };
+            if !f.found {
+                domain.clear_all();
+                return false;
+            }
+            let curr = f.curr;
+            let next_word = unsafe { (*curr).next.load(Ordering::Acquire) };
+            if is_marked(next_word) {
+                continue; // someone else is deleting it; re-find
+            }
+            // Logical delete: set the mark.
+            if unsafe { &(*curr).next }
+                .compare_exchange(
+                    next_word,
+                    next_word | MARK,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_err()
+            {
+                continue;
+            }
+            // Physical delete: best effort; find() cleans up otherwise.
+            let prev_atomic = unsafe { &*f.prev_link };
+            if prev_atomic
+                .compare_exchange(
+                    curr as usize,
+                    unmarked(next_word) as usize,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                unsafe { self.retire_node(domain, curr) };
+            } else {
+                let _ = unsafe { self.find(domain, key) };
+            }
+            domain.clear_all();
+            return true;
+        }
+    }
+
+    /// Membership test.
+    ///
+    /// # Safety
+    ///
+    /// As [`insert`](Self::insert).
+    pub unsafe fn contains(&self, domain: &HazardDomain, key: usize) -> bool {
+        let f = unsafe { self.find(domain, key) };
+        domain.clear_all();
+        f.found
+    }
+
+    /// Removes and returns the smallest key, or `None` if empty.
+    ///
+    /// # Safety
+    ///
+    /// As [`insert`](Self::insert).
+    pub unsafe fn pop_first(&self, domain: &HazardDomain) -> Option<usize> {
+        unsafe { self.remove_first_where(domain, |_| true) }
+    }
+
+    /// Removes and returns the smallest key satisfying `pred`
+    /// (`ListRemoveEmptyDesc`'s mid-list removal shape), or `None`.
+    ///
+    /// # Safety
+    ///
+    /// As [`insert`](Self::insert). `pred` must not touch this list.
+    pub unsafe fn remove_first_where(
+        &self,
+        domain: &HazardDomain,
+        pred: impl Fn(usize) -> bool,
+    ) -> Option<usize> {
+        'retry: loop {
+            let mut prev_link: *const AtomicUsize = &self.head;
+            let mut curr = unmarked(unsafe { (*prev_link).load(Ordering::Acquire) });
+            domain.clear(SLOT_PREV);
+            loop {
+                if curr.is_null() {
+                    domain.clear_all();
+                    return None;
+                }
+                domain.set(SLOT_CURR, curr);
+                if unmarked(unsafe { (*prev_link).load(Ordering::Acquire) }) != curr {
+                    continue 'retry;
+                }
+                let next_word = unsafe { (*curr).next.load(Ordering::Acquire) };
+                let next = unmarked(next_word);
+                domain.set(SLOT_NEXT, next);
+                if unsafe { (*curr).next.load(Ordering::Acquire) } != next_word {
+                    continue 'retry;
+                }
+                let key = unsafe { (*curr).key.load(Ordering::Acquire) };
+                if !is_marked(next_word) && pred(key) {
+                    // Try to take it: logical then physical delete.
+                    if unsafe { &(*curr).next }
+                        .compare_exchange(
+                            next_word,
+                            next_word | MARK,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        let prev_atomic = unsafe { &*prev_link };
+                        if prev_atomic
+                            .compare_exchange(
+                                curr as usize,
+                                next as usize,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            )
+                            .is_ok()
+                        {
+                            unsafe { self.retire_node(domain, curr) };
+                        } else {
+                            let _ = unsafe { self.find(domain, key) };
+                        }
+                        domain.clear_all();
+                        return Some(key);
+                    }
+                    continue 'retry;
+                }
+                // Skip marked or non-matching node.
+                domain.set(SLOT_PREV, curr);
+                prev_link = unsafe { &(*curr).next } as *const AtomicUsize;
+                curr = next;
+            }
+        }
+    }
+
+    /// Best-effort emptiness check.
+    pub fn is_empty_hint(&self) -> bool {
+        unmarked(self.head.load(Ordering::Acquire)).is_null()
+    }
+}
+
+impl Default for RawList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for RawList {
+    fn drop(&mut self) {
+        let mut p = *self.slabs.get_mut();
+        let layout = slab_layout();
+        while !p.is_null() {
+            let next = unsafe { (*p).next };
+            unsafe { System.dealloc(p as *mut u8, layout) };
+            p = next;
+        }
+    }
+}
+
+/// Safe, self-contained wrapper (own domain, boxed for stability).
+///
+/// # Example
+///
+/// ```
+/// use lockfree_structs::list::OrderedSet;
+///
+/// let s = OrderedSet::new();
+/// assert!(s.insert(16));
+/// assert!(!s.insert(16));
+/// assert!(s.contains(16));
+/// assert!(s.remove(16));
+/// assert!(!s.contains(16));
+/// ```
+#[derive(Debug)]
+pub struct OrderedSet {
+    inner: Box<(HazardDomain, RawList)>,
+}
+
+impl Default for OrderedSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OrderedSet {
+    /// Creates an empty set. Keys must have a zero low bit (they are
+    /// stored alongside the mark bit's name space; for pointers this is
+    /// any alignment ≥ 2).
+    pub fn new() -> Self {
+        OrderedSet { inner: Box::new((HazardDomain::new(), RawList::new())) }
+    }
+
+    /// Inserts `key`; false if already present.
+    pub fn insert(&self, key: usize) -> bool {
+        unsafe { self.inner.1.insert(&self.inner.0, key) }
+    }
+
+    /// Removes `key`; false if absent.
+    pub fn remove(&self, key: usize) -> bool {
+        unsafe { self.inner.1.remove(&self.inner.0, key) }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, key: usize) -> bool {
+        unsafe { self.inner.1.contains(&self.inner.0, key) }
+    }
+
+    /// Removes and returns the smallest key.
+    pub fn pop_first(&self) -> Option<usize> {
+        unsafe { self.inner.1.pop_first(&self.inner.0) }
+    }
+
+    /// Removes and returns the smallest key satisfying `pred`.
+    pub fn remove_first_where(&self, pred: impl Fn(usize) -> bool) -> Option<usize> {
+        unsafe { self.inner.1.remove_first_where(&self.inner.0, pred) }
+    }
+
+    /// Best-effort emptiness check.
+    pub fn is_empty_hint(&self) -> bool {
+        self.inner.1.is_empty_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn set_semantics() {
+        let s = OrderedSet::new();
+        assert!(s.is_empty_hint());
+        assert!(s.insert(10));
+        assert!(s.insert(20));
+        assert!(!s.insert(10), "duplicate insert must fail");
+        assert!(s.contains(10));
+        assert!(!s.contains(30));
+        assert!(s.remove(10));
+        assert!(!s.remove(10), "double remove must fail");
+        assert!(!s.contains(10));
+        assert!(s.contains(20));
+    }
+
+    #[test]
+    fn ordered_pop_first() {
+        let s = OrderedSet::new();
+        for k in [50usize, 10, 40, 20, 30] {
+            s.insert(k);
+        }
+        assert_eq!(s.pop_first(), Some(10));
+        assert_eq!(s.pop_first(), Some(20));
+        assert_eq!(s.pop_first(), Some(30));
+        assert_eq!(s.pop_first(), Some(40));
+        assert_eq!(s.pop_first(), Some(50));
+        assert_eq!(s.pop_first(), None);
+    }
+
+    #[test]
+    fn remove_first_where_skips_nonmatching() {
+        let s = OrderedSet::new();
+        for k in [10usize, 20, 30, 40] {
+            s.insert(k);
+        }
+        // Remove the first key divisible by 20: that's 20, mid-list.
+        assert_eq!(s.remove_first_where(|k| k % 20 == 0), Some(20));
+        assert!(s.contains(10) && s.contains(30) && s.contains(40));
+        assert!(!s.contains(20));
+        // No key matches: None, nothing removed.
+        assert_eq!(s.remove_first_where(|k| k > 1000), None);
+        assert!(s.contains(10));
+    }
+
+    #[test]
+    fn nodes_are_recycled() {
+        let s = OrderedSet::new();
+        for round in 0..100 {
+            for i in 0..50usize {
+                s.insert((round * 50 + i) * 2 + 2);
+            }
+            while s.pop_first().is_some() {}
+        }
+        // 5000 inserts with recycling: slab count stays small.
+        let mut p = s.inner.1.slabs.load(Ordering::Acquire);
+        let mut slabs = 0;
+        while !p.is_null() {
+            slabs += 1;
+            p = unsafe { (*p).next };
+        }
+        assert!(slabs <= 8, "{slabs} slabs suggests no node recycling");
+    }
+
+    #[test]
+    fn concurrent_insert_remove_conservation() {
+        const PER_THREAD: usize = 2_000;
+        let s = Arc::new(OrderedSet::new());
+        let mut handles = Vec::new();
+        for t in 0..4usize {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                // Disjoint key ranges per thread; every key inserted then
+                // removed; all operations must report success exactly once.
+                let base = (t + 1) << 24;
+                for i in 0..PER_THREAD {
+                    let k = base + i * 2;
+                    assert!(s.insert(k), "insert {k:#x} failed");
+                }
+                for i in 0..PER_THREAD {
+                    let k = base + i * 2;
+                    assert!(s.contains(k));
+                    assert!(s.remove(k), "remove {k:#x} failed");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(s.is_empty_hint());
+    }
+
+    #[test]
+    fn concurrent_contention_on_same_keys() {
+        // All threads fight over the same small key space; each
+        // successful insert is eventually matched by exactly one
+        // successful remove.
+        let s = Arc::new(OrderedSet::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let mut state = t + 1;
+                let mut next = move || {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state
+                };
+                let mut net = 0i64; // inserts minus removes that succeeded
+                for _ in 0..5_000 {
+                    let r = next();
+                    let k = ((r as usize % 32) + 1) * 2;
+                    if r & (1 << 40) == 0 {
+                        if s.insert(k) {
+                            net += 1;
+                        }
+                    } else if s.remove(k) {
+                        net -= 1;
+                    }
+                }
+                net
+            }));
+        }
+        let net: i64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        // Drain what's left; it must equal the net insertions.
+        let mut left = HashSet::new();
+        while let Some(k) = s.pop_first() {
+            assert!(left.insert(k), "duplicate key {k} in set");
+        }
+        assert_eq!(left.len() as i64, net, "insert/remove accounting broken");
+    }
+}

@@ -1,0 +1,87 @@
+//! Cache-line padding.
+//!
+//! The paper's processor-heap array is laid out so heaps do not share
+//! cache lines (false sharing between processors would defeat the whole
+//! design; cf. Torrellas et al., cited as [22]). [`CachePadded`] is the
+//! standard wrapper: it aligns and pads its contents to the cache-line
+//! size.
+
+/// Assumed cache-line size in bytes (64 on x86-64 and most AArch64;
+/// PowerPC, the paper's platform, used 128 — the padding only needs to be
+/// an upper bound for correctness of the *performance* property).
+pub const CACHE_LINE: usize = 64;
+
+/// Pads and aligns `T` to [`CACHE_LINE`] bytes.
+///
+/// # Example
+///
+/// ```
+/// use lockfree_structs::pad::{CachePadded, CACHE_LINE};
+/// use std::sync::atomic::AtomicUsize;
+///
+/// let counters: [CachePadded<AtomicUsize>; 2] = Default::default();
+/// assert!(core::mem::size_of_val(&counters[0]) >= CACHE_LINE);
+/// assert_eq!(core::mem::align_of_val(&counters[0]), CACHE_LINE);
+/// counters[0].store(1, std::sync::atomic::Ordering::Relaxed);
+/// ```
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in padding.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Consumes the wrapper, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> core::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> core::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_size_and_align() {
+        assert_eq!(core::mem::align_of::<CachePadded<u8>>(), CACHE_LINE);
+        assert!(core::mem::size_of::<CachePadded<u8>>() >= CACHE_LINE);
+        // A type larger than a line is padded to a multiple of it.
+        assert_eq!(core::mem::size_of::<CachePadded<[u8; 65]>>() % CACHE_LINE, 0);
+    }
+
+    #[test]
+    fn deref_roundtrip() {
+        let mut p = CachePadded::new(41u32);
+        *p += 1;
+        assert_eq!(*p, 42);
+        assert_eq!(p.into_inner(), 42);
+    }
+
+    #[test]
+    fn array_elements_do_not_share_lines() {
+        let arr: [CachePadded<u64>; 4] = Default::default();
+        for w in arr.windows(2) {
+            let a = &w[0] as *const _ as usize;
+            let b = &w[1] as *const _ as usize;
+            assert!(b - a >= CACHE_LINE);
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! Lock-free LIFO stacks (IBM free-list / Treiber stacks).
+//!
+//! Two variants, matching the two ABA defenses the paper employs:
+//!
+//! * [`TaggedStack`] — head is a [`TagPtr`] bumped on every pop (the
+//!   "classic IBM tag mechanism" [8]). Used where nodes are large,
+//!   strongly aligned, and **never unmapped** (the page pool's
+//!   superblock free list), so a stale traversal reads valid memory and
+//!   the tag stops a stale CAS.
+//! * [`HpStack`] — head is a plain pointer; pops are protected by hazard
+//!   pointers and nodes must be re-inserted only through
+//!   [`HazardDomain::retire`]. This is the paper's `DescAvail`
+//!   descriptor list, where `SafeCAS` "use[s] the hazard pointer
+//!   methodology ... to prevent the ABA problem for this structure"
+//!   (§3.2.5).
+
+use crate::backoff::Backoff;
+use crate::tagptr::TagPtr;
+use core::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use hazard::{HazardDomain, Slot};
+
+/// A lock-free LIFO stack of raw, `2^SHIFT`-aligned memory regions.
+///
+/// The word at byte offset `OFFSET` (default 0: the first word) of each
+/// free region is used as the intrusive next link.
+/// ABA is prevented by a tag packed into the head word.
+///
+/// # Safety model
+///
+/// All regions ever pushed must remain readable for the stack's lifetime
+/// (they may be *reused* while popped — a racing `pop` may read the first
+/// word of a region another thread owns, which is why the link is read
+/// with an atomic load — but they may never be unmapped). The page pool
+/// satisfies this by construction: it never returns memory to the OS,
+/// like the paper's descriptor superblocks.
+#[derive(Debug)]
+pub struct TaggedStack<const SHIFT: u32, const OFFSET: usize = 0> {
+    head: AtomicU64,
+}
+
+impl<const SHIFT: u32, const OFFSET: usize> Default for TaggedStack<SHIFT, OFFSET> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const SHIFT: u32, const OFFSET: usize> TaggedStack<SHIFT, OFFSET> {
+    /// Creates an empty stack.
+    pub const fn new() -> Self {
+        TaggedStack { head: AtomicU64::new(0) }
+    }
+
+    /// Pushes the region at `node`.
+    ///
+    /// # Safety
+    ///
+    /// `node` must be non-zero, aligned to `2^SHIFT`, point to at least
+    /// one writable word, not currently be in the stack, and satisfy the
+    /// never-unmapped rule above.
+    pub unsafe fn push(&self, node: usize) {
+        debug_assert_ne!(node, 0);
+        let link = unsafe { &*((node + OFFSET) as *const AtomicUsize) };
+        let mut backoff = Backoff::new();
+        let mut head = TagPtr::<SHIFT>::from_raw(self.head.load(Ordering::Acquire));
+        loop {
+            link.store(head.addr(), Ordering::Relaxed);
+            let new = head.with_addr(node);
+            match self.head.compare_exchange_weak(
+                head.raw(),
+                new.raw(),
+                Ordering::Release,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(observed) => {
+                    head = TagPtr::from_raw(observed);
+                    backoff.spin();
+                }
+            }
+        }
+    }
+
+    /// Pops a region, or `None` if the stack is empty.
+    ///
+    /// # Safety
+    ///
+    /// Same stack-wide rules as [`push`](Self::push).
+    pub unsafe fn pop(&self) -> Option<usize> {
+        let mut backoff = Backoff::new();
+        let mut head = TagPtr::<SHIFT>::from_raw(self.head.load(Ordering::Acquire));
+        loop {
+            if head.is_null() {
+                return None;
+            }
+            // The region may be concurrently owned by someone who won an
+            // earlier race; the atomic load makes that benign, the tag
+            // check makes it harmless.
+            let next =
+                unsafe { &*((head.addr() + OFFSET) as *const AtomicUsize) }.load(Ordering::Relaxed);
+            let new = head.with_addr(next).bump_tag();
+            match self.head.compare_exchange_weak(
+                head.raw(),
+                new.raw(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(head.addr()),
+                Err(observed) => {
+                    head = TagPtr::from_raw(observed);
+                    backoff.spin();
+                }
+            }
+        }
+    }
+
+    /// True if the stack was empty at the time of the load.
+    pub fn is_empty(&self) -> bool {
+        TagPtr::<SHIFT>::from_raw(self.head.load(Ordering::Acquire)).is_null()
+    }
+}
+
+/// A node type usable in an [`HpStack`]: exposes one intrusive link.
+///
+/// # Safety
+///
+/// `next_link` must return a stable `AtomicPtr` embedded in the node that
+/// the stack may use exclusively while the node is free.
+pub unsafe trait Intrusive: Sized {
+    /// The node's intrusive next link.
+    fn next_link(&self) -> &AtomicPtr<Self>;
+}
+
+/// A lock-free LIFO stack protected by hazard pointers instead of tags.
+///
+/// This is the paper's descriptor free list: `DescRetire` is a plain
+/// push, `DescAlloc` is a pop whose CAS is made ABA-safe by publishing a
+/// hazard pointer to the observed head ("SafeCAS").
+///
+/// # ABA discipline
+///
+/// Hazard pointers only prevent ABA if a popped node cannot re-enter the
+/// stack while some thread still protects it. Therefore **nodes must be
+/// re-inserted only via [`HazardDomain::retire`]** with a reclaim
+/// function that performs the [`push`](HpStack::push); pushing a
+/// previously popped node directly is unsound under concurrency.
+/// Fresh nodes (never popped) may be pushed directly.
+#[derive(Debug)]
+pub struct HpStack<T: Intrusive> {
+    head: AtomicPtr<T>,
+}
+
+unsafe impl<T: Intrusive + Send> Send for HpStack<T> {}
+unsafe impl<T: Intrusive + Send> Sync for HpStack<T> {}
+
+impl<T: Intrusive> Default for HpStack<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Intrusive> HpStack<T> {
+    /// Creates an empty stack.
+    pub const fn new() -> Self {
+        HpStack { head: AtomicPtr::new(core::ptr::null_mut()) }
+    }
+
+    /// Pushes `node`.
+    ///
+    /// # Safety
+    ///
+    /// `node` must be valid, not in the stack, and either never popped
+    /// before or flowing through `retire` (see ABA discipline above).
+    pub unsafe fn push(&self, node: *mut T) {
+        debug_assert!(!node.is_null());
+        let mut backoff = Backoff::new();
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            unsafe { (*node).next_link().store(head, Ordering::Relaxed) };
+            match self.head.compare_exchange_weak(
+                head,
+                node,
+                Ordering::Release,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(observed) => {
+                    head = observed;
+                    backoff.spin();
+                }
+            }
+        }
+    }
+
+    /// Pops a node, protecting the traversal with hazard `slot` of
+    /// `domain`.
+    ///
+    /// # Safety
+    ///
+    /// All nodes in the stack must remain allocated while any thread may
+    /// be inside `pop` (retire-mediated recycling guarantees this).
+    pub unsafe fn pop(&self, domain: &HazardDomain, slot: Slot) -> Option<*mut T> {
+        let mut backoff = Backoff::new();
+        loop {
+            let p = domain.protect(slot, &self.head);
+            if p.is_null() {
+                domain.clear(slot);
+                return None;
+            }
+            // p is protected: it cannot be reclaimed-and-reused, so its
+            // link is stable if p is still the head.
+            let next = unsafe { (*p).next_link().load(Ordering::Acquire) };
+            if self
+                .head
+                .compare_exchange(p, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                domain.clear(slot);
+                return Some(p);
+            }
+            backoff.spin();
+        }
+    }
+
+    /// True if the stack was empty at the time of the load.
+    pub fn is_empty(&self) -> bool {
+        self.head.load(Ordering::Acquire).is_null()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    // ---- TaggedStack ----
+
+    const SHIFT: u32 = 6; // 64-byte aligned test nodes
+
+    fn alloc_region() -> usize {
+        let l = Layout::from_size_align(64, 64).unwrap();
+        let p = unsafe { System.alloc(l) } as usize;
+        assert_ne!(p, 0);
+        p
+    }
+
+    unsafe fn free_region(p: usize) {
+        let l = Layout::from_size_align(64, 64).unwrap();
+        unsafe { System.dealloc(p as *mut u8, l) };
+    }
+
+    #[test]
+    fn tagged_lifo_order() {
+        let s = TaggedStack::<SHIFT>::new();
+        assert!(s.is_empty());
+        let (a, b, c) = (alloc_region(), alloc_region(), alloc_region());
+        unsafe {
+            s.push(a);
+            s.push(b);
+            s.push(c);
+            assert!(!s.is_empty());
+            assert_eq!(s.pop(), Some(c));
+            assert_eq!(s.pop(), Some(b));
+            assert_eq!(s.pop(), Some(a));
+            assert_eq!(s.pop(), None);
+            free_region(a);
+            free_region(b);
+            free_region(c);
+        }
+    }
+
+    #[test]
+    fn tagged_concurrent_conservation() {
+        // N regions circulate among threads; each pop/push pair checks an
+        // exclusive-ownership canary, so ABA or duplication panics.
+        const REGIONS: usize = 32;
+        const OPS: usize = 10_000;
+        let s = Arc::new(TaggedStack::<SHIFT>::new());
+        let regions: Vec<usize> = (0..REGIONS).map(|_| alloc_region()).collect();
+        for &r in &regions {
+            // Second word is the canary (first is the link).
+            unsafe { *(r as *mut [usize; 2]) = [0, 0] };
+            unsafe { s.push(r) };
+        }
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..OPS {
+                    if let Some(r) = unsafe { s.pop() } {
+                        let canary = unsafe { &*((r + 8) as *const AtomicUsize) };
+                        assert_eq!(
+                            canary.swap(1, Ordering::AcqRel),
+                            0,
+                            "region popped by two threads at once (ABA!)"
+                        );
+                        canary.store(0, Ordering::Release);
+                        unsafe { s.push(r) };
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut drained = 0;
+        while let Some(r) = unsafe { s.pop() } {
+            drained += 1;
+            unsafe { free_region(r) };
+        }
+        assert_eq!(drained, REGIONS, "regions lost or duplicated");
+    }
+
+    // ---- HpStack ----
+
+    #[repr(align(64))]
+    struct TestNode {
+        next: AtomicPtr<TestNode>,
+        claimed: AtomicBool,
+    }
+
+    unsafe impl Intrusive for TestNode {
+        fn next_link(&self) -> &AtomicPtr<TestNode> {
+            &self.next
+        }
+    }
+
+    fn new_node() -> *mut TestNode {
+        Box::into_raw(Box::new(TestNode {
+            next: AtomicPtr::new(core::ptr::null_mut()),
+            claimed: AtomicBool::new(false),
+        }))
+    }
+
+    #[test]
+    fn hp_lifo_order() {
+        let d = HazardDomain::new();
+        let s = HpStack::<TestNode>::new();
+        let (a, b) = (new_node(), new_node());
+        unsafe {
+            s.push(a);
+            s.push(b);
+            assert_eq!(s.pop(&d, Slot(0)), Some(b));
+            assert_eq!(s.pop(&d, Slot(0)), Some(a));
+            assert_eq!(s.pop(&d, Slot(0)), None);
+            drop(Box::from_raw(a));
+            drop(Box::from_raw(b));
+        }
+    }
+
+    // Reclaim = push back onto the stack (the descriptor-recycling shape).
+    unsafe fn reclaim_to_stack(ctx: *mut u8, ptr: *mut u8) {
+        let stack = unsafe { &*(ctx as *const HpStack<TestNode>) };
+        unsafe { stack.push(ptr as *mut TestNode) };
+    }
+
+    #[test]
+    fn hp_concurrent_recycling_no_aba() {
+        const NODES: usize = 16;
+        const OPS: usize = 10_000;
+        struct Shared {
+            stack: HpStack<TestNode>,
+            domain: HazardDomain,
+        }
+        let shared = Arc::new(Shared { stack: HpStack::new(), domain: HazardDomain::new() });
+        let nodes: Vec<*mut TestNode> = (0..NODES).map(|_| new_node()).collect();
+        for &n in &nodes {
+            unsafe { shared.stack.push(n) };
+        }
+        let addrs: Vec<usize> = nodes.iter().map(|&n| n as usize).collect();
+
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let sh = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..OPS {
+                    if let Some(n) = unsafe { sh.stack.pop(&sh.domain, Slot(0)) } {
+                        let node = unsafe { &*n };
+                        assert!(
+                            !node.claimed.swap(true, Ordering::AcqRel),
+                            "node popped twice concurrently (ABA!)"
+                        );
+                        node.claimed.store(false, Ordering::Release);
+                        // Recycle through retire, per the ABA discipline.
+                        unsafe {
+                            sh.domain.retire(
+                                n as *mut u8,
+                                &sh.stack as *const _ as *mut u8,
+                                reclaim_to_stack,
+                            )
+                        };
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Flush every thread's retired nodes back (main thread's record
+        // plus domain drop cover the rest); then count.
+        shared.domain.flush();
+        // Drain what is present; the retired-but-unflushed remainder is
+        // released when the domain drops, so just verify no duplicates.
+        let mut seen = std::collections::HashSet::new();
+        unsafe {
+            while let Some(n) = shared.stack.pop(&shared.domain, Slot(0)) {
+                assert!(seen.insert(n as usize), "duplicate node in stack");
+                assert!(addrs.contains(&(n as usize)), "foreign node in stack");
+            }
+        }
+        drop(shared);
+        for n in nodes {
+            unsafe { drop(Box::from_raw(n)) };
+        }
+    }
+}

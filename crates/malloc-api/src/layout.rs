@@ -1,0 +1,122 @@
+//! Small alignment/size arithmetic helpers shared across allocator crates.
+//!
+//! These are the handful of bit tricks every allocator in the workspace
+//! needs; centralizing them keeps the unsafe pointer arithmetic in the
+//! allocators themselves as small as possible.
+
+/// Rounds `n` up to the next multiple of `align`.
+///
+/// `align` must be a power of two.
+///
+/// # Panics
+///
+/// Panics in debug builds if `align` is not a power of two. Wraps on
+/// overflow in release builds (callers validate sizes first).
+///
+/// # Example
+///
+/// ```
+/// use malloc_api::layout::align_up;
+/// assert_eq!(align_up(13, 8), 16);
+/// assert_eq!(align_up(16, 8), 16);
+/// assert_eq!(align_up(0, 8), 0);
+/// ```
+#[inline]
+pub const fn align_up(n: usize, align: usize) -> usize {
+    debug_assert!(align.is_power_of_two());
+    (n.wrapping_add(align - 1)) & !(align - 1)
+}
+
+/// Rounds `n` down to the previous multiple of `align` (a power of two).
+///
+/// # Example
+///
+/// ```
+/// use malloc_api::layout::align_down;
+/// assert_eq!(align_down(13, 8), 8);
+/// assert_eq!(align_down(16, 8), 16);
+/// ```
+#[inline]
+pub const fn align_down(n: usize, align: usize) -> usize {
+    debug_assert!(align.is_power_of_two());
+    n & !(align - 1)
+}
+
+/// Returns true if `n` is a multiple of `align` (a power of two).
+///
+/// # Example
+///
+/// ```
+/// use malloc_api::layout::is_aligned;
+/// assert!(is_aligned(64, 16));
+/// assert!(!is_aligned(40, 16));
+/// ```
+#[inline]
+pub const fn is_aligned(n: usize, align: usize) -> bool {
+    debug_assert!(align.is_power_of_two());
+    n & (align - 1) == 0
+}
+
+/// Returns true if the pointer address is a multiple of `align`.
+///
+/// # Example
+///
+/// ```
+/// use malloc_api::layout::is_ptr_aligned;
+/// let v: u64 = 0;
+/// assert!(is_ptr_aligned(&v as *const u64 as *const u8, 8));
+/// ```
+#[inline]
+pub fn is_ptr_aligned<T>(p: *const T, align: usize) -> bool {
+    is_aligned(p as usize, align)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn align_up_basics() {
+        assert_eq!(align_up(0, 16), 0);
+        assert_eq!(align_up(1, 16), 16);
+        assert_eq!(align_up(15, 16), 16);
+        assert_eq!(align_up(17, 16), 32);
+        assert_eq!(align_up(4096, 4096), 4096);
+    }
+
+    #[test]
+    fn align_down_basics() {
+        assert_eq!(align_down(0, 16), 0);
+        assert_eq!(align_down(1, 16), 0);
+        assert_eq!(align_down(31, 16), 16);
+        assert_eq!(align_down(32, 16), 32);
+    }
+
+    proptest! {
+        #[test]
+        fn align_up_is_aligned_and_minimal(n in 0usize..1 << 40, shift in 0u32..12) {
+            let align = 1usize << shift;
+            let up = align_up(n, align);
+            prop_assert!(is_aligned(up, align));
+            prop_assert!(up >= n);
+            prop_assert!(up - n < align);
+        }
+
+        #[test]
+        fn align_down_is_aligned_and_maximal(n in 0usize..1 << 40, shift in 0u32..12) {
+            let align = 1usize << shift;
+            let down = align_down(n, align);
+            prop_assert!(is_aligned(down, align));
+            prop_assert!(down <= n);
+            prop_assert!(n - down < align);
+        }
+
+        #[test]
+        fn up_down_compose(n in 0usize..1 << 40, shift in 0u32..12) {
+            let align = 1usize << shift;
+            prop_assert_eq!(align_up(align_down(n, align), align), align_down(n, align));
+            prop_assert_eq!(align_down(align_up(n, align), align), align_up(n, align));
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Allocator memory accounting used by the §4.2.5 space experiment.
+//!
+//! The paper tracks "the maximum space used by" each allocator while
+//! running Threadtest, Larson and Producer-consumer. Every allocator in
+//! this workspace obtains pages through an accounting layer (see
+//! `osmem::CountingSource`) and reports the numbers through
+//! [`AllocStats`].
+
+use core::sync::atomic::{AtomicUsize, Ordering};
+
+/// A point-in-time snapshot of an allocator's OS-level memory usage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Bytes currently obtained from the OS and not yet returned.
+    pub live_bytes: usize,
+    /// High-water mark of `live_bytes` since the allocator was created.
+    pub peak_bytes: usize,
+    /// Number of OS-level allocation calls (the paper batches superblocks
+    /// into hyperblocks specifically to keep this low, §3.2.5).
+    pub os_allocs: usize,
+    /// Number of OS-level release calls.
+    pub os_frees: usize,
+}
+
+impl AllocStats {
+    /// Ratio of this snapshot's peak to another's, the shape reported in
+    /// §4.2.5 ("the ratio of the maximum space allocated by Ptmalloc to
+    /// the maximum space allocated by ours ... ranged from 1.16 to 3.83").
+    ///
+    /// Returns `None` if `other` has a zero peak.
+    pub fn peak_ratio_over(&self, other: &AllocStats) -> Option<f64> {
+        if other.peak_bytes == 0 {
+            None
+        } else {
+            Some(self.peak_bytes as f64 / other.peak_bytes as f64)
+        }
+    }
+}
+
+impl core::fmt::Display for AllocStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "live={}B peak={}B os_allocs={} os_frees={}",
+            self.live_bytes, self.peak_bytes, self.os_allocs, self.os_frees
+        )
+    }
+}
+
+/// Lock-free live/peak counter shared by the allocators' OS layers.
+///
+/// `record_alloc`/`record_free` are wait-free apart from the peak update,
+/// which is a bounded CAS loop; this keeps the accounting from perturbing
+/// the lock-freedom claims of the allocator under test.
+#[derive(Debug, Default)]
+pub struct UsageCounter {
+    live: AtomicUsize,
+    peak: AtomicUsize,
+    allocs: AtomicUsize,
+    frees: AtomicUsize,
+}
+
+impl UsageCounter {
+    /// Creates a counter with all fields zero.
+    pub const fn new() -> Self {
+        Self {
+            live: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+            allocs: AtomicUsize::new(0),
+            frees: AtomicUsize::new(0),
+        }
+    }
+
+    /// Records an OS-level allocation of `bytes`.
+    pub fn record_alloc(&self, bytes: usize) {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        let live = self.live.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        // Lock-free max: retry only while someone else holds a smaller peak.
+        let mut peak = self.peak.load(Ordering::Relaxed);
+        while live > peak {
+            match self
+                .peak
+                .compare_exchange_weak(peak, live, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(observed) => peak = observed,
+            }
+        }
+    }
+
+    /// Records an OS-level release of `bytes`.
+    pub fn record_free(&self, bytes: usize) {
+        self.frees.fetch_add(1, Ordering::Relaxed);
+        self.live.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Snapshots the counter.
+    pub fn snapshot(&self) -> AllocStats {
+        AllocStats {
+            live_bytes: self.live.load(Ordering::Relaxed),
+            peak_bytes: self.peak.load(Ordering::Relaxed),
+            os_allocs: self.allocs.load(Ordering::Relaxed),
+            os_frees: self.frees.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets live/peak/alloc/free counts to zero (between experiments).
+    pub fn reset(&self) {
+        self.live.store(0, Ordering::Relaxed);
+        self.peak.store(0, Ordering::Relaxed);
+        self.allocs.store(0, Ordering::Relaxed);
+        self.frees.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_tracks_live_and_peak() {
+        let c = UsageCounter::new();
+        c.record_alloc(100);
+        c.record_alloc(50);
+        c.record_free(100);
+        c.record_alloc(25);
+        let s = c.snapshot();
+        assert_eq!(s.live_bytes, 75);
+        assert_eq!(s.peak_bytes, 150);
+        assert_eq!(s.os_allocs, 3);
+        assert_eq!(s.os_frees, 1);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let c = UsageCounter::new();
+        c.record_alloc(10);
+        c.reset();
+        assert_eq!(c.snapshot(), AllocStats::default());
+    }
+
+    #[test]
+    fn peak_ratio() {
+        let a = AllocStats { peak_bytes: 383, ..Default::default() };
+        let b = AllocStats { peak_bytes: 100, ..Default::default() };
+        let r = a.peak_ratio_over(&b).unwrap();
+        assert!((r - 3.83).abs() < 1e-9);
+        assert!(a.peak_ratio_over(&AllocStats::default()).is_none());
+    }
+
+    #[test]
+    fn concurrent_peak_is_at_least_max_single_live() {
+        // 4 threads each allocate then free 1000 bytes repeatedly; the peak
+        // must be at least 1000 and at most 4000.
+        let c = Arc::new(UsageCounter::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.record_alloc(1000);
+                    c.record_free(1000);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = c.snapshot();
+        assert_eq!(s.live_bytes, 0);
+        assert!(s.peak_bytes >= 1000 && s.peak_bytes <= 4000, "peak={}", s.peak_bytes);
+        assert_eq!(s.os_allocs, 4000);
+        assert_eq!(s.os_frees, 4000);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = AllocStats::default();
+        assert!(!format!("{s}").is_empty());
+    }
+}

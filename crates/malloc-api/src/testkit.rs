@@ -1,0 +1,316 @@
+//! Reusable allocator conformance and stress checks.
+//!
+//! Each allocator crate in the workspace (lfmalloc, dlheap, ptmalloc,
+//! hoard) runs this same battery from its own test suite, so the four
+//! implementations are held to one contract: the [`RawMalloc`] safety
+//! contract plus "bytes you wrote stay yours until you free them".
+//!
+//! All checks fill each allocated block with a pattern derived from its
+//! address and verify the pattern just before freeing; any two live
+//! blocks that overlap, or any allocator metadata written into a live
+//! block, trips an assertion.
+
+use crate::{RawMalloc, MIN_MALLOC_ALIGN};
+use std::collections::HashSet;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// Deterministic xorshift64* PRNG so the kit needs no external crates and
+/// failures replay exactly.
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates a PRNG from a nonzero seed (zero is mapped to a constant).
+    pub fn new(seed: u64) -> Self {
+        TestRng(if seed == 0 { 0x9E3779B97F4A7C15 } else { seed })
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+}
+
+/// Fills `size` bytes at `p` with a pattern derived from the address.
+///
+/// # Safety
+///
+/// `p` must point to at least `size` writable bytes.
+pub unsafe fn fill(p: *mut u8, size: usize) {
+    let tag = (p as usize as u64).wrapping_mul(0x9E3779B97F4A7C15);
+    for i in 0..size {
+        *p.add(i) = (tag >> ((i % 8) * 8)) as u8 ^ (i as u8);
+    }
+}
+
+/// Verifies a pattern written by [`fill`]; panics on mismatch.
+///
+/// # Safety
+///
+/// `p` must point to at least `size` readable bytes previously filled.
+pub unsafe fn check_fill(p: *mut u8, size: usize) {
+    let tag = (p as usize as u64).wrapping_mul(0x9E3779B97F4A7C15);
+    for i in 0..size {
+        let want = (tag >> ((i % 8) * 8)) as u8 ^ (i as u8);
+        let got = *p.add(i);
+        assert_eq!(
+            got, want,
+            "corrupted byte {i} of block {:p} (size {size}): got {got:#x}, want {want:#x}",
+            p
+        );
+    }
+}
+
+/// Basic single-thread contract: varied sizes round-trip, results are
+/// non-null, aligned, distinct while live, and data is preserved.
+pub fn check_basic<A: RawMalloc>(alloc: &A) {
+    let sizes: &[usize] = &[
+        0, 1, 7, 8, 9, 15, 16, 17, 24, 31, 32, 48, 63, 64, 65, 100, 127, 128, 200, 255, 256, 384,
+        511, 512, 1000, 1024, 2000, 4096, 8192,
+    ];
+    unsafe {
+        let mut live: Vec<(*mut u8, usize)> = Vec::new();
+        let mut seen = HashSet::new();
+        for &sz in sizes {
+            let p = alloc.malloc(sz);
+            assert!(!p.is_null(), "malloc({sz}) returned null");
+            assert!(
+                (p as usize) % MIN_MALLOC_ALIGN == 0,
+                "malloc({sz}) => {p:p} not {MIN_MALLOC_ALIGN}-aligned"
+            );
+            assert!(seen.insert(p as usize), "malloc({sz}) returned a live pointer twice");
+            fill(p, sz);
+            live.push((p, sz));
+        }
+        for &(p, sz) in &live {
+            check_fill(p, sz);
+            alloc.free(p);
+        }
+    }
+}
+
+/// Zero-size allocations are valid, unique and freeable.
+pub fn check_zero_size<A: RawMalloc>(alloc: &A) {
+    unsafe {
+        let a = alloc.malloc(0);
+        let b = alloc.malloc(0);
+        assert!(!a.is_null() && !b.is_null());
+        assert_ne!(a, b, "two live zero-size blocks must be distinct");
+        alloc.free(a);
+        alloc.free(b);
+        // Null free is a no-op.
+        alloc.free(core::ptr::null_mut());
+    }
+}
+
+/// Large blocks (beyond any small size class) round-trip and hold data.
+pub fn check_large<A: RawMalloc>(alloc: &A) {
+    unsafe {
+        for &sz in &[16 * 1024, 64 * 1024, 1 << 20, (1 << 20) + 13] {
+            let p = alloc.malloc(sz);
+            assert!(!p.is_null(), "large malloc({sz}) returned null");
+            // Touch first/last pages rather than every byte (speed).
+            fill(p, 256);
+            fill(p.add(sz - 256), 256);
+            check_fill(p, 256);
+            check_fill(p.add(sz - 256), 256);
+            alloc.free(p);
+        }
+    }
+}
+
+/// Allocate a batch, free in LIFO / FIFO / random order, repeat.
+///
+/// Exercises superblock free-list push/pop in every order the paper's
+/// Larson benchmark does.
+pub fn check_free_orders<A: RawMalloc>(alloc: &A, seed: u64) {
+    let mut rng = TestRng::new(seed);
+    for round in 0..3 {
+        unsafe {
+            let n = 200;
+            let mut blocks: Vec<(*mut u8, usize)> = (0..n)
+                .map(|_| {
+                    let sz = rng.range(1, 257);
+                    let p = alloc.malloc(sz);
+                    assert!(!p.is_null());
+                    fill(p, sz);
+                    (p, sz)
+                })
+                .collect();
+            match round {
+                0 => blocks.reverse(), // LIFO
+                1 => {}                // FIFO
+                _ => {
+                    // Fisher-Yates shuffle
+                    for i in (1..blocks.len()).rev() {
+                        let j = rng.range(0, i + 1);
+                        blocks.swap(i, j);
+                    }
+                }
+            }
+            for (p, sz) in blocks {
+                check_fill(p, sz);
+                alloc.free(p);
+            }
+        }
+    }
+}
+
+/// Steady-state churn: keep `slots` live blocks, repeatedly replace a
+/// random slot with a new random-size block (the Larson inner loop).
+pub fn check_churn<A: RawMalloc>(alloc: &A, slots: usize, iters: usize, seed: u64) {
+    let mut rng = TestRng::new(seed);
+    unsafe {
+        let mut live: Vec<(*mut u8, usize)> = (0..slots)
+            .map(|_| {
+                let sz = rng.range(16, 81);
+                let p = alloc.malloc(sz);
+                assert!(!p.is_null());
+                fill(p, sz);
+                (p, sz)
+            })
+            .collect();
+        for _ in 0..iters {
+            let i = rng.range(0, slots);
+            let (p, sz) = live[i];
+            check_fill(p, sz);
+            alloc.free(p);
+            let nsz = rng.range(16, 81);
+            let np = alloc.malloc(nsz);
+            assert!(!np.is_null());
+            fill(np, nsz);
+            live[i] = (np, nsz);
+        }
+        for (p, sz) in live {
+            check_fill(p, sz);
+            alloc.free(p);
+        }
+    }
+}
+
+/// Multithreaded churn: `threads` threads run [`check_churn`] in parallel
+/// on the same allocator.
+pub fn check_concurrent_churn<A: RawMalloc + Send + Sync + 'static>(
+    alloc: Arc<A>,
+    threads: usize,
+    iters: usize,
+) {
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let a = Arc::clone(&alloc);
+        handles.push(std::thread::spawn(move || {
+            check_churn(&*a, 64, iters, 0xC0FFEE + t as u64);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// Producer-consumer / remote free: blocks allocated on one thread are
+/// verified and freed on another (the pattern §4.1's Producer-consumer
+/// benchmark and Hoard's "passive false sharing" test stress).
+pub fn check_remote_free<A: RawMalloc + Send + Sync + 'static>(
+    alloc: Arc<A>,
+    producers: usize,
+    blocks_per_producer: usize,
+) {
+    let (tx, rx) = mpsc::channel::<(usize, usize)>();
+    let mut handles = Vec::new();
+    for t in 0..producers {
+        let a = Arc::clone(&alloc);
+        let tx = tx.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = TestRng::new(0xDEAD + t as u64);
+            for _ in 0..blocks_per_producer {
+                let sz = rng.range(8, 129);
+                unsafe {
+                    let p = a.malloc(sz);
+                    assert!(!p.is_null());
+                    fill(p, sz);
+                    tx.send((p as usize, sz)).unwrap();
+                }
+            }
+        }));
+    }
+    drop(tx);
+    // Consumer on this thread: verify and free everything remotely.
+    let mut received = 0usize;
+    for (addr, sz) in rx {
+        unsafe {
+            let p = addr as *mut u8;
+            check_fill(p, sz);
+            alloc.free(p);
+        }
+        received += 1;
+    }
+    assert_eq!(received, producers * blocks_per_producer);
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// Runs the whole battery on one allocator. Convenience for crate tests.
+pub fn check_all<A: RawMalloc + Send + Sync + 'static>(alloc: Arc<A>) {
+    check_basic(&*alloc);
+    check_zero_size(&*alloc);
+    check_large(&*alloc);
+    check_free_orders(&*alloc, 42);
+    check_churn(&*alloc, 128, 2_000, 7);
+    check_concurrent_churn(Arc::clone(&alloc), 4, 2_000);
+    check_remote_free(alloc, 3, 500);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_in_range() {
+        let mut a = TestRng::new(1);
+        let mut b = TestRng::new(1);
+        for _ in 0..100 {
+            let x = a.range(10, 20);
+            assert_eq!(x, b.range(10, 20));
+            assert!((10..20).contains(&x));
+        }
+    }
+
+    #[test]
+    fn rng_zero_seed_is_usable() {
+        let mut r = TestRng::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn fill_roundtrip() {
+        let mut buf = vec![0u8; 333];
+        unsafe {
+            fill(buf.as_mut_ptr(), buf.len());
+            check_fill(buf.as_mut_ptr(), buf.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupted byte")]
+    fn check_fill_detects_corruption() {
+        let mut buf = vec![0u8; 64];
+        unsafe {
+            fill(buf.as_mut_ptr(), buf.len());
+            buf[17] ^= 0xFF;
+            check_fill(buf.as_mut_ptr(), buf.len());
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Hyperblock-batched pool of fixed-size regions (§3.2.5).
+//!
+//! "In order to reduce the frequency of calls to mmap and munmap, we
+//! allocate superblocks (e.g., 16 KB) in batches of (e.g., 1 MB)
+//! hyperblocks (superblocks of superblocks)."
+//!
+//! [`PagePool`] keeps a lock-free LIFO of free regions. When empty it
+//! obtains one hyperblock from the [`PageSource`], hands out the first
+//! region, and pushes the rest. Freed regions return to the LIFO — the
+//! pool **never unmaps**, which is what makes the tag-protected stack
+//! traversal safe (see [`TaggedStack`]); the paper makes the equivalent
+//! trade for descriptor superblocks and notes the retained fraction is
+//! negligible. `release_all` exists for orderly teardown by the owner.
+
+use crate::source::PageSource;
+use core::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use lockfree_structs::TaggedStack;
+use std::alloc::{GlobalAlloc, Layout, System};
+
+/// Registry entry recording one hyperblock for teardown. Allocated from
+/// the system allocator (never the global allocator).
+struct HyperRecord {
+    base: *mut u8,
+    bytes: usize,
+    next: *mut HyperRecord,
+}
+
+/// A lock-free cache of `2^SHIFT`-byte, `2^SHIFT`-aligned regions carved
+/// from hyperblocks of `batch` regions each.
+///
+/// # Example
+///
+/// ```
+/// use osmem::{PagePool, SystemSource};
+///
+/// // 16 KiB superblocks in 1 MiB hyperblocks, as in the paper.
+/// let src = SystemSource::new();
+/// let pool: PagePool<14> = PagePool::new(64);
+/// let sb = pool.alloc(&src);
+/// assert!(!sb.is_null());
+/// assert_eq!(sb as usize % (1 << 14), 0);
+/// unsafe { pool.dealloc(sb) };
+/// let again = pool.alloc(&src);
+/// assert_eq!(again, sb, "freed region is recycled, not re-mapped");
+/// unsafe { pool.dealloc(again) };
+/// unsafe { pool.release_all(&src) };
+/// ```
+#[derive(Debug)]
+pub struct PagePool<const SHIFT: u32> {
+    free: TaggedStack<SHIFT>,
+    hypers: AtomicPtr<HyperRecord>,
+    hyper_count: AtomicUsize,
+    batch: usize,
+}
+
+unsafe impl<const SHIFT: u32> Send for PagePool<SHIFT> {}
+unsafe impl<const SHIFT: u32> Sync for PagePool<SHIFT> {}
+
+impl<const SHIFT: u32> PagePool<SHIFT> {
+    /// Bytes per region.
+    pub const REGION_SIZE: usize = 1 << SHIFT;
+
+    /// Creates a pool that refills `batch` regions at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub const fn new(batch: usize) -> Self {
+        assert!(batch > 0, "batch must be positive");
+        PagePool {
+            free: TaggedStack::new(),
+            hypers: AtomicPtr::new(core::ptr::null_mut()),
+            hyper_count: AtomicUsize::new(0),
+            batch,
+        }
+    }
+
+    /// Hands out one region: from the free LIFO if possible, otherwise
+    /// from a freshly mapped hyperblock. Null only if the source fails.
+    pub fn alloc<S: PageSource>(&self, source: &S) -> *mut u8 {
+        if let Some(r) = unsafe { self.free.pop() } {
+            return r as *mut u8;
+        }
+        let bytes = self.batch << SHIFT;
+        let base = unsafe { source.alloc_pages(bytes, Self::REGION_SIZE) };
+        if base.is_null() {
+            // One more attempt on the LIFO: a racing free may have
+            // repopulated it while the OS call failed.
+            return unsafe { self.free.pop() }.map_or(core::ptr::null_mut(), |r| r as *mut u8);
+        }
+        self.register_hyperblock(base, bytes);
+        // Keep region 0, push the rest.
+        for i in 1..self.batch {
+            unsafe { self.free.push(base as usize + (i << SHIFT)) };
+        }
+        base
+    }
+
+    /// Returns a region to the pool (never to the OS).
+    ///
+    /// # Safety
+    ///
+    /// `region` must have been returned by [`alloc`](Self::alloc) on this
+    /// pool and be fully unused by the caller from this point.
+    pub unsafe fn dealloc(&self, region: *mut u8) {
+        unsafe { self.free.push(region as usize) };
+    }
+
+    /// Number of hyperblocks mapped so far.
+    pub fn hyperblock_count(&self) -> usize {
+        self.hyper_count.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes currently held from the source.
+    pub fn mapped_bytes(&self) -> usize {
+        self.hyperblock_count() * (self.batch << SHIFT)
+    }
+
+    /// Returns every hyperblock to `source` and frees the registry.
+    ///
+    /// # Safety
+    ///
+    /// Requires exclusive quiescence: no region handed out by this pool
+    /// may still be in use, and no other thread may touch the pool again.
+    /// `source` must be the same source passed to every `alloc`.
+    pub unsafe fn release_all<S: PageSource>(&self, source: &S) {
+        // Drain the free list first: its intrusive links live inside the
+        // hyperblocks about to be unmapped.
+        while unsafe { self.free.pop() }.is_some() {}
+        let mut p = self.hypers.swap(core::ptr::null_mut(), Ordering::AcqRel);
+        while !p.is_null() {
+            let rec = unsafe { &*p };
+            let next = rec.next;
+            unsafe { source.dealloc_pages(rec.base, rec.bytes, Self::REGION_SIZE) };
+            unsafe { System.dealloc(p as *mut u8, Layout::new::<HyperRecord>()) };
+            p = next;
+        }
+        self.hyper_count.store(0, Ordering::Relaxed);
+    }
+
+    fn register_hyperblock(&self, base: *mut u8, bytes: usize) {
+        let rec = unsafe { System.alloc(Layout::new::<HyperRecord>()) } as *mut HyperRecord;
+        assert!(!rec.is_null(), "hyperblock registry allocation failed");
+        let mut head = self.hypers.load(Ordering::Acquire);
+        loop {
+            unsafe { rec.write(HyperRecord { base, bytes, next: head }) };
+            match self.hypers.compare_exchange_weak(head, rec, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => break,
+                Err(observed) => head = observed,
+            }
+        }
+        self.hyper_count.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl<const SHIFT: u32> Drop for PagePool<SHIFT> {
+    fn drop(&mut self) {
+        // Without the source we cannot unmap; free only the registry
+        // records. Owners that care call `release_all` first.
+        let mut p = *self.hypers.get_mut();
+        while !p.is_null() {
+            let next = unsafe { (*p).next };
+            unsafe { System.dealloc(p as *mut u8, Layout::new::<HyperRecord>()) };
+            p = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{CountingSource, SystemSource};
+    use std::sync::Arc;
+
+    type SbPool = PagePool<14>; // 16 KiB regions
+
+    #[test]
+    fn regions_are_aligned_and_distinct() {
+        let src = SystemSource::new();
+        let pool = SbPool::new(8);
+        let mut regions = Vec::new();
+        for _ in 0..20 {
+            let r = pool.alloc(&src);
+            assert!(!r.is_null());
+            assert_eq!(r as usize % SbPool::REGION_SIZE, 0);
+            assert!(!regions.contains(&r));
+            regions.push(r);
+        }
+        // 20 regions at batch 8 → 3 hyperblocks.
+        assert_eq!(pool.hyperblock_count(), 3);
+        for r in regions {
+            unsafe { pool.dealloc(r) };
+        }
+        unsafe { pool.release_all(&src) };
+    }
+
+    #[test]
+    fn recycling_avoids_new_hyperblocks() {
+        let src = CountingSource::new(SystemSource::new());
+        let pool = SbPool::new(4);
+        for _ in 0..100 {
+            let r = pool.alloc(&src);
+            assert!(!r.is_null());
+            unsafe { pool.dealloc(r) };
+        }
+        assert_eq!(pool.hyperblock_count(), 1, "churn must not map new hyperblocks");
+        assert_eq!(src.stats().os_allocs, 1);
+        unsafe { pool.release_all(&src) };
+        assert_eq!(src.stats().live_bytes, 0);
+    }
+
+    #[test]
+    fn batching_reduces_os_calls() {
+        // The point of §3.2.5: N region allocations cost N/batch OS calls.
+        let src = CountingSource::new(SystemSource::new());
+        let pool = SbPool::new(64);
+        let regions: Vec<*mut u8> = (0..64).map(|_| pool.alloc(&src)).collect();
+        assert_eq!(src.stats().os_allocs, 1);
+        for r in regions {
+            unsafe { pool.dealloc(r) };
+        }
+        unsafe { pool.release_all(&src) };
+    }
+
+    #[test]
+    fn regions_are_writable_across_whole_extent() {
+        let src = SystemSource::new();
+        let pool = SbPool::new(2);
+        let r = pool.alloc(&src);
+        unsafe {
+            core::ptr::write_bytes(r, 0x5A, SbPool::REGION_SIZE);
+            assert_eq!(*r, 0x5A);
+            assert_eq!(*r.add(SbPool::REGION_SIZE - 1), 0x5A);
+            pool.dealloc(r);
+            pool.release_all(&src);
+        }
+    }
+
+    #[test]
+    fn concurrent_alloc_dealloc_no_duplicates() {
+        let src = Arc::new(SystemSource::new());
+        let pool = Arc::new(SbPool::new(8));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let src = Arc::clone(&src);
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..2_000 {
+                    let r = pool.alloc(&*src);
+                    assert!(!r.is_null());
+                    // Exclusive-ownership canary in the second word (the
+                    // first is the free-list link).
+                    unsafe {
+                        let canary = &*((r as usize + 8) as *const AtomicUsize);
+                        assert_eq!(canary.swap(1, Ordering::AcqRel), 0, "region double-allocated");
+                        canary.store(0, Ordering::Release);
+                        pool.dealloc(r);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let pool = Arc::try_unwrap(pool).unwrap();
+        unsafe { pool.release_all(&*src) };
+    }
+}

@@ -1,0 +1,298 @@
+//! Page sources: where allocators get raw memory runs.
+
+use malloc_api::layout::{align_up, is_aligned};
+use malloc_api::stats::UsageCounter;
+use malloc_api::AllocStats;
+use std::alloc::{GlobalAlloc, Layout, System};
+
+/// Assumed OS page size. The substrate rounds all requests up to this.
+pub const PAGE_SIZE: usize = 4096;
+
+/// A supplier of page-aligned memory runs — the `mmap`/`munmap` of this
+/// reproduction.
+///
+/// # Safety
+///
+/// Implementations must return either null or a run of at least `size`
+/// bytes aligned to `align`, exclusively owned by the caller until the
+/// matching [`dealloc_pages`](Self::dealloc_pages) with identical
+/// `size`/`align`.
+pub unsafe trait PageSource: Sync {
+    /// Obtains `size` bytes aligned to `align` (both multiples of
+    /// [`PAGE_SIZE`]; `align` a power of two). Returns null on failure.
+    ///
+    /// # Safety
+    ///
+    /// Caller must pass the same `size` and `align` to `dealloc_pages`.
+    unsafe fn alloc_pages(&self, size: usize, align: usize) -> *mut u8;
+
+    /// Returns a run previously obtained from `alloc_pages`.
+    ///
+    /// # Safety
+    ///
+    /// `ptr`/`size`/`align` must match a live prior `alloc_pages`.
+    unsafe fn dealloc_pages(&self, ptr: *mut u8, size: usize, align: usize);
+
+    /// Accounting snapshot (zero for non-counting sources).
+    fn stats(&self) -> AllocStats {
+        AllocStats::default()
+    }
+}
+
+/// The default source: aligned runs from the *system* allocator.
+///
+/// Uses `std::alloc::System` directly (never the Rust global allocator)
+/// so allocators built on it can be installed as `#[global_allocator]`.
+#[derive(Debug, Default)]
+pub struct SystemSource;
+
+impl SystemSource {
+    /// Creates the source.
+    pub const fn new() -> Self {
+        SystemSource
+    }
+}
+
+unsafe impl PageSource for SystemSource {
+    unsafe fn alloc_pages(&self, size: usize, align: usize) -> *mut u8 {
+        debug_assert!(size > 0 && is_aligned(size, PAGE_SIZE));
+        debug_assert!(align.is_power_of_two() && align >= PAGE_SIZE);
+        let Ok(layout) = Layout::from_size_align(size, align) else {
+            return core::ptr::null_mut();
+        };
+        // Anonymous mmap hands out zero-filled pages; reproduce that so
+        // code above this layer can rely on the same invariant.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn dealloc_pages(&self, ptr: *mut u8, size: usize, align: usize) {
+        let layout = Layout::from_size_align(size, align).expect("layout validated at alloc");
+        unsafe { System.dealloc(ptr, layout) };
+    }
+}
+
+/// Rounds an arbitrary byte count up to whole pages.
+///
+/// # Example
+///
+/// ```
+/// use osmem::source::{pages_for, PAGE_SIZE};
+/// assert_eq!(pages_for(1), PAGE_SIZE);
+/// assert_eq!(pages_for(PAGE_SIZE), PAGE_SIZE);
+/// assert_eq!(pages_for(PAGE_SIZE + 1), 2 * PAGE_SIZE);
+/// ```
+pub const fn pages_for(bytes: usize) -> usize {
+    if bytes == 0 {
+        PAGE_SIZE
+    } else {
+        align_up(bytes, PAGE_SIZE)
+    }
+}
+
+/// A [`PageSource`] decorator that tracks live/peak bytes and call
+/// counts — the measurement harness for §4.2.5 ("we tracked the maximum
+/// space used by our allocator, Hoard, and Ptmalloc").
+#[derive(Debug, Default)]
+pub struct CountingSource<S> {
+    inner: S,
+    counter: UsageCounter,
+}
+
+impl<S> CountingSource<S> {
+    /// Wraps `inner` with fresh counters.
+    pub const fn new(inner: S) -> Self {
+        CountingSource { inner, counter: UsageCounter::new() }
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Resets the counters (between experiment phases).
+    pub fn reset_stats(&self) {
+        self.counter.reset();
+    }
+}
+
+unsafe impl<S: PageSource> PageSource for CountingSource<S> {
+    unsafe fn alloc_pages(&self, size: usize, align: usize) -> *mut u8 {
+        let p = unsafe { self.inner.alloc_pages(size, align) };
+        if !p.is_null() {
+            self.counter.record_alloc(size);
+        }
+        p
+    }
+
+    unsafe fn dealloc_pages(&self, ptr: *mut u8, size: usize, align: usize) {
+        unsafe { self.inner.dealloc_pages(ptr, size, align) };
+        self.counter.record_free(size);
+    }
+
+    fn stats(&self) -> AllocStats {
+        self.counter.snapshot()
+    }
+}
+
+unsafe impl<S: PageSource + Send + Sync> PageSource for std::sync::Arc<S> {
+    unsafe fn alloc_pages(&self, size: usize, align: usize) -> *mut u8 {
+        unsafe { (**self).alloc_pages(size, align) }
+    }
+    unsafe fn dealloc_pages(&self, ptr: *mut u8, size: usize, align: usize) {
+        unsafe { (**self).dealloc_pages(ptr, size, align) }
+    }
+    fn stats(&self) -> AllocStats {
+        (**self).stats()
+    }
+}
+
+unsafe impl<S: PageSource> PageSource for &S {
+    unsafe fn alloc_pages(&self, size: usize, align: usize) -> *mut u8 {
+        unsafe { (**self).alloc_pages(size, align) }
+    }
+    unsafe fn dealloc_pages(&self, ptr: *mut u8, size: usize, align: usize) {
+        unsafe { (**self).dealloc_pages(ptr, size, align) }
+    }
+    fn stats(&self) -> AllocStats {
+        (**self).stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_source_alignment_honored() {
+        let s = SystemSource::new();
+        for &align in &[PAGE_SIZE, 16 * 1024, 1 << 20] {
+            unsafe {
+                let p = s.alloc_pages(align, align);
+                assert!(!p.is_null());
+                assert!(is_aligned(p as usize, align), "{p:p} not aligned to {align:#x}");
+                // Memory is usable.
+                core::ptr::write_bytes(p, 0xAB, align);
+                s.dealloc_pages(p, align, align);
+            }
+        }
+    }
+
+    #[test]
+    fn counting_source_tracks_peak() {
+        let s = CountingSource::new(SystemSource::new());
+        unsafe {
+            let a = s.alloc_pages(PAGE_SIZE, PAGE_SIZE);
+            let b = s.alloc_pages(2 * PAGE_SIZE, PAGE_SIZE);
+            s.dealloc_pages(a, PAGE_SIZE, PAGE_SIZE);
+            let st = s.stats();
+            assert_eq!(st.live_bytes, 2 * PAGE_SIZE);
+            assert_eq!(st.peak_bytes, 3 * PAGE_SIZE);
+            assert_eq!(st.os_allocs, 2);
+            assert_eq!(st.os_frees, 1);
+            s.dealloc_pages(b, 2 * PAGE_SIZE, PAGE_SIZE);
+        }
+        assert_eq!(s.stats().live_bytes, 0);
+        s.reset_stats();
+        assert_eq!(s.stats(), AllocStats::default());
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        assert_eq!(pages_for(0), PAGE_SIZE);
+        assert_eq!(pages_for(4097), 2 * PAGE_SIZE);
+        assert_eq!(pages_for(3 * PAGE_SIZE), 3 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn reference_source_forwards() {
+        let s = CountingSource::new(SystemSource::new());
+        let r = &s;
+        unsafe {
+            let p = r.alloc_pages(PAGE_SIZE, PAGE_SIZE);
+            assert!(!p.is_null());
+            r.dealloc_pages(p, PAGE_SIZE, PAGE_SIZE);
+        }
+        assert_eq!(r.stats().os_allocs, 1);
+    }
+}
+
+/// A [`PageSource`] decorator that injects allocation failures: after
+/// `budget` successful allocations, every further `alloc_pages` fails
+/// until [`refill`](FlakySource::refill). Used by fault-injection tests
+/// to drive allocators through their out-of-memory paths.
+#[derive(Debug)]
+pub struct FlakySource<S> {
+    inner: S,
+    remaining: core::sync::atomic::AtomicIsize,
+}
+
+impl<S> FlakySource<S> {
+    /// Wraps `inner`, allowing `budget` successful allocations.
+    pub const fn new(inner: S, budget: isize) -> Self {
+        FlakySource { inner, remaining: core::sync::atomic::AtomicIsize::new(budget) }
+    }
+
+    /// Grants `n` more successful allocations (may "revive" a source
+    /// that has been failing).
+    pub fn refill(&self, n: isize) {
+        self.remaining.store(n, core::sync::atomic::Ordering::Release);
+    }
+
+    /// Remaining successful allocations (may be negative after
+    /// failures).
+    pub fn remaining(&self) -> isize {
+        self.remaining.load(core::sync::atomic::Ordering::Acquire)
+    }
+}
+
+unsafe impl<S: PageSource> PageSource for FlakySource<S> {
+    unsafe fn alloc_pages(&self, size: usize, align: usize) -> *mut u8 {
+        use core::sync::atomic::Ordering;
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) <= 0 {
+            return core::ptr::null_mut();
+        }
+        unsafe { self.inner.alloc_pages(size, align) }
+    }
+
+    unsafe fn dealloc_pages(&self, ptr: *mut u8, size: usize, align: usize) {
+        unsafe { self.inner.dealloc_pages(ptr, size, align) }
+    }
+
+    fn stats(&self) -> AllocStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod flaky_tests {
+    use super::*;
+
+    #[test]
+    fn flaky_source_fails_after_budget() {
+        let s = FlakySource::new(SystemSource::new(), 2);
+        unsafe {
+            let a = s.alloc_pages(PAGE_SIZE, PAGE_SIZE);
+            let b = s.alloc_pages(PAGE_SIZE, PAGE_SIZE);
+            assert!(!a.is_null() && !b.is_null());
+            assert!(s.alloc_pages(PAGE_SIZE, PAGE_SIZE).is_null(), "budget exhausted");
+            assert!(s.alloc_pages(PAGE_SIZE, PAGE_SIZE).is_null(), "stays failed");
+            s.refill(1);
+            let c = s.alloc_pages(PAGE_SIZE, PAGE_SIZE);
+            assert!(!c.is_null(), "refill revives the source");
+            s.dealloc_pages(a, PAGE_SIZE, PAGE_SIZE);
+            s.dealloc_pages(b, PAGE_SIZE, PAGE_SIZE);
+            s.dealloc_pages(c, PAGE_SIZE, PAGE_SIZE);
+        }
+    }
+
+    #[test]
+    fn dealloc_always_works() {
+        let s = FlakySource::new(SystemSource::new(), 1);
+        unsafe {
+            let a = s.alloc_pages(PAGE_SIZE, PAGE_SIZE);
+            assert!(s.alloc_pages(PAGE_SIZE, PAGE_SIZE).is_null());
+            // Frees must never be blocked by the failure mode.
+            s.dealloc_pages(a, PAGE_SIZE, PAGE_SIZE);
+        }
+    }
+}

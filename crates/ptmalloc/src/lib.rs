@@ -1,0 +1,275 @@
+//! Ptmalloc-style multi-arena allocator baseline.
+//!
+//! From the paper's description (§2.2): "Ptmalloc, developed by Wolfram
+//! Gloger and based on Doug Lea's dlmalloc sequential allocator, is part
+//! of GNU glibc. It uses multiple arenas in order to reduce the adverse
+//! effect of contention. The granularity of locking is the arena. If a
+//! thread executing malloc finds an arena locked, it tries the next one.
+//! If all arenas are found to be locked, the thread creates a new arena
+//! ... Each thread keeps thread-specific information about the arena it
+//! used in its last malloc. When a thread frees a chunk (block), it
+//! returns the chunk to the arena from which the chunk was originally
+//! allocated, and the thread must acquire that arena's lock."
+//!
+//! Every sentence above is implemented here, on top of
+//! [`dlheap::SerialHeap`] (our dlmalloc). One representational
+//! deviation: glibc finds a chunk's arena from its address; we store an
+//! explicit 16-byte owner prefix in front of each block. The *locking
+//! behaviour* — which lock is taken, when, and by whom — is identical,
+//! and that is what the paper measures (including the pathologies it
+//! observes: arena-hopping under contention, freeing to remote locked
+//! arenas in Larson, and extra arenas beyond the thread count).
+
+use dlheap::SerialHeap;
+use malloc_api::{AllocStats, RawMalloc};
+use osmem::{CountingSource, PageSource, SystemSource};
+use parking_lot::{Mutex, RwLock};
+use std::cell::Cell;
+use std::sync::Arc;
+
+/// Bytes prepended to each block to record the owning arena (keeps user
+/// pointers 16-aligned).
+const OWNER_PREFIX: usize = 16;
+
+/// One arena: a serial heap behind its own lock.
+struct Arena<S: PageSource> {
+    heap: Mutex<SerialHeap<S>>,
+}
+
+impl<S: PageSource> Arena<S> {
+    fn new(source: Arc<S>) -> Arc<Self> {
+        Arc::new(Arena { heap: Mutex::new(SerialHeap::new(source)) })
+    }
+}
+
+thread_local! {
+    /// Index of the arena this thread used for its last malloc.
+    static LAST_ARENA: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// The Ptmalloc-style allocator: arena list + per-thread affinity.
+///
+/// # Example
+///
+/// ```
+/// use ptmalloc::Ptmalloc;
+/// use malloc_api::RawMalloc;
+///
+/// let a = Ptmalloc::new();
+/// unsafe {
+///     let p = a.malloc(100);
+///     assert!(!p.is_null());
+///     a.free(p);
+/// }
+/// ```
+pub struct Ptmalloc<S: PageSource = CountingSource<SystemSource>> {
+    arenas: RwLock<Vec<Arc<Arena<S>>>>,
+    source: Arc<S>,
+}
+
+impl Ptmalloc<CountingSource<SystemSource>> {
+    /// One initial arena over a counting system source.
+    pub fn new() -> Self {
+        Self::with_source(Arc::new(CountingSource::new(SystemSource::new())))
+    }
+}
+
+impl Default for Ptmalloc<CountingSource<SystemSource>> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: PageSource + Send + Sync> Ptmalloc<S> {
+    /// Builds the allocator over an injected page source.
+    pub fn with_source(source: Arc<S>) -> Self {
+        let main = Arena::new(Arc::clone(&source));
+        Ptmalloc { arenas: RwLock::new(vec![main]), source }
+    }
+
+    /// Number of arenas created so far. The paper reports this as a
+    /// symptom: "Ptmalloc creates more arenas than the number of
+    /// threads, e.g., 22 arenas for 16 threads".
+    pub fn arena_count(&self) -> usize {
+        self.arenas.read().len()
+    }
+
+    /// The page source (for stats).
+    pub fn source(&self) -> &Arc<S> {
+        &self.source
+    }
+
+    /// Allocates via the paper's arena discipline: last-used arena
+    /// first, then try-lock scan, then a fresh arena.
+    unsafe fn arena_malloc(&self, size: usize) -> *mut u8 {
+        let total = size.saturating_add(OWNER_PREFIX);
+        // 1. The thread's preferred arena (uncontended fast path).
+        let preferred = LAST_ARENA.try_with(|c| c.get()).unwrap_or(usize::MAX);
+        {
+            let arenas = self.arenas.read();
+            let n = arenas.len();
+            let start = if preferred < n { preferred } else { 0 };
+            // 2. Try-lock scan starting at the preferred arena: "If a
+            //    thread executing malloc finds an arena locked, it tries
+            //    the next one."
+            for step in 0..n {
+                let idx = (start + step) % n;
+                if let Some(mut heap) = arenas[idx].heap.try_lock() {
+                    let p = unsafe { heap.malloc(total) };
+                    drop(heap);
+                    if p.is_null() {
+                        return core::ptr::null_mut();
+                    }
+                    let _ = LAST_ARENA.try_with(|c| c.set(idx));
+                    return unsafe { self.finish(p, &arenas[idx]) };
+                }
+            }
+        }
+        // 3. "If all arenas are found to be locked, the thread creates a
+        //    new arena to satisfy its malloc and adds the new arena to
+        //    the main list of arenas."
+        let arena = Arena::new(Arc::clone(&self.source));
+        let idx;
+        {
+            let mut arenas = self.arenas.write();
+            idx = arenas.len();
+            arenas.push(Arc::clone(&arena));
+        }
+        let _ = LAST_ARENA.try_with(|c| c.set(idx));
+        let p = unsafe { arena.heap.lock().malloc(total) };
+        if p.is_null() {
+            return core::ptr::null_mut();
+        }
+        unsafe { self.finish(p, &arena) }
+    }
+
+    /// Stamps the owner prefix and returns the user pointer.
+    ///
+    /// The prefix is a plain pointer, not a refcount: the arena list
+    /// holds every arena's `Arc` until the allocator itself drops, and
+    /// `free` takes `&self`, so the owner outlives every block.
+    unsafe fn finish(&self, p: *mut u8, arena: &Arc<Arena<S>>) -> *mut u8 {
+        unsafe {
+            (p as *mut usize).write(Arc::as_ptr(arena) as usize);
+            p.add(OWNER_PREFIX)
+        }
+    }
+}
+
+unsafe impl<S: PageSource + Send + Sync> RawMalloc for Ptmalloc<S> {
+    unsafe fn malloc(&self, size: usize) -> *mut u8 {
+        unsafe { self.arena_malloc(size) }
+    }
+
+    unsafe fn free(&self, ptr: *mut u8) {
+        if ptr.is_null() {
+            return;
+        }
+        unsafe {
+            let base = ptr.sub(OWNER_PREFIX);
+            let owner = (base as *const usize).read() as *const Arena<S>;
+            // "the thread must acquire that arena's lock" — a remote
+            // free blocks on the owner's lock, the contention source the
+            // paper measures in Larson and producer-consumer.
+            (*owner).heap.lock().free(base);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "ptmalloc"
+    }
+
+    unsafe fn malloc_aligned(&self, size: usize, align: usize) -> *mut u8 {
+        if align <= OWNER_PREFIX {
+            unsafe { self.malloc(size) }
+        } else {
+            core::ptr::null_mut()
+        }
+    }
+
+    fn stats(&self) -> AllocStats {
+        self.source.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malloc_api::testkit;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn full_conformance_battery() {
+        let a = Arc::new(Ptmalloc::new());
+        testkit::check_all(a);
+    }
+
+    #[test]
+    fn starts_with_one_arena() {
+        let a = Ptmalloc::new();
+        assert_eq!(a.arena_count(), 1);
+        unsafe {
+            let p = a.malloc(64);
+            a.free(p);
+        }
+        assert_eq!(a.arena_count(), 1, "uncontended use must not spawn arenas");
+    }
+
+    #[test]
+    fn contention_creates_arenas() {
+        // Hold the only arena's lock hostage; a malloc from another
+        // thread must create a second arena instead of blocking.
+        let a = Arc::new(Ptmalloc::new());
+        let hold = {
+            let arenas = a.arenas.read();
+            // Leak a guard by locking and forgetting: simulate a slow
+            // holder via a scoped thread instead.
+            Arc::clone(&arenas[0])
+        };
+        let barrier = Arc::new(Barrier::new(2));
+        let release = Arc::new(AtomicBool::new(false));
+        let holder = {
+            let barrier = Arc::clone(&barrier);
+            let release = Arc::clone(&release);
+            std::thread::spawn(move || {
+                let _guard = hold.heap.lock();
+                barrier.wait(); // lock is held
+                while !release.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+            })
+        };
+        barrier.wait();
+        let p = unsafe { a.malloc(64) };
+        assert!(!p.is_null());
+        assert_eq!(a.arena_count(), 2, "malloc under total contention must add an arena");
+        release.store(true, Ordering::Release);
+        holder.join().unwrap();
+        unsafe { a.free(p) };
+    }
+
+    #[test]
+    fn remote_free_returns_to_owner_arena() {
+        let a = Arc::new(Ptmalloc::new());
+        let p = unsafe { a.malloc(128) } as usize;
+        let a2 = Arc::clone(&a);
+        // Free from another thread: must succeed and route to arena 0.
+        std::thread::spawn(move || unsafe { a2.free(p as *mut u8) }).join().unwrap();
+        assert_eq!(a.arena_count(), 1);
+    }
+
+    #[test]
+    fn thread_affinity_is_sticky() {
+        let a = Ptmalloc::new();
+        unsafe {
+            let p1 = a.malloc(64);
+            let p2 = a.malloc(64);
+            // Same thread, both from arena 0 — freeing must not panic
+            // and the arena count stays 1.
+            a.free(p1);
+            a.free(p2);
+        }
+        assert_eq!(a.arena_count(), 1);
+    }
+}

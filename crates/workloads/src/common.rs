@@ -1,0 +1,120 @@
+//! Shared measurement scaffolding for the benchmarks.
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Result of one workload run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadResult {
+    /// Total operations performed (workload-defined unit: malloc/free
+    /// pairs, or tasks).
+    pub ops: u64,
+    /// Wall-clock time of the parallel phase.
+    pub elapsed: Duration,
+}
+
+impl WorkloadResult {
+    /// Operations per second.
+    pub fn throughput(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+
+    /// Speedup of this run over a baseline run (throughput ratio) — the
+    /// paper's y-axis: "Speedup over contention-free libc malloc".
+    pub fn speedup_over(&self, baseline: &WorkloadResult) -> f64 {
+        self.throughput() / baseline.throughput().max(1e-12)
+    }
+
+    /// Mean nanoseconds per operation.
+    pub fn ns_per_op(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / self.ops.max(1) as f64
+    }
+}
+
+impl core::fmt::Display for WorkloadResult {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} ops in {:.3}s ({:.0} ops/s, {:.0} ns/op)",
+            self.ops,
+            self.elapsed.as_secs_f64(),
+            self.throughput(),
+            self.ns_per_op()
+        )
+    }
+}
+
+/// Spawns `threads` workers, starts them simultaneously behind a
+/// barrier, times the parallel phase, and sums per-thread op counts.
+///
+/// The worker receives its thread index and returns its op count.
+pub fn run_parallel<F>(threads: usize, worker: F) -> WorkloadResult
+where
+    F: Fn(usize) -> u64 + Send + Sync + 'static,
+{
+    assert!(threads >= 1);
+    let worker = Arc::new(worker);
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let mut handles = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let worker = Arc::clone(&worker);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            worker(t)
+        }));
+    }
+    // Timestamp BEFORE the main thread's barrier arrival: main is the
+    // last arriver, so this marks the moment the workers are released.
+    // (Timestamping after `wait()` returns loses the race on a single
+    // CPU: the scheduler can run every worker to completion before main
+    // wakes up, collapsing the measured phase to microseconds.)
+    let start = Instant::now();
+    barrier.wait();
+    let mut ops = 0;
+    for h in handles {
+        ops += h.join().expect("worker panicked");
+    }
+    WorkloadResult { ops, elapsed: start.elapsed() }
+}
+
+/// The paper's footnote-4 measurement hygiene: spawn (and join) one
+/// do-nothing thread before timing, so allocators that special-case the
+/// never-spawned-a-thread process cannot bypass synchronization.
+pub fn defeat_single_thread_bypass() {
+    std::thread::spawn(|| {}).join().unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_parallel_sums_ops() {
+        let r = run_parallel(4, |_t| 25);
+        assert_eq!(r.ops, 100);
+        assert!(r.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn throughput_and_speedup() {
+        let a = WorkloadResult { ops: 1000, elapsed: Duration::from_secs(1) };
+        let b = WorkloadResult { ops: 500, elapsed: Duration::from_secs(1) };
+        assert!((a.throughput() - 1000.0).abs() < 1e-6);
+        assert!((a.speedup_over(&b) - 2.0).abs() < 1e-6);
+        assert!((a.ns_per_op() - 1_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn worker_index_is_passed() {
+        let r = run_parallel(3, |t| t as u64);
+        assert_eq!(r.ops, 0 + 1 + 2);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let a = WorkloadResult { ops: 10, elapsed: Duration::from_millis(1) };
+        let s = format!("{a}");
+        assert!(s.contains("ops"));
+    }
+}

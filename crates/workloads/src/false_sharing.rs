@@ -1,0 +1,143 @@
+//! Active-false and Passive-false (from the Hoard distribution).
+//!
+//! "In Active-false, each thread performs 10,000 malloc/free pairs (of 8
+//! byte blocks) and each time it writes 1,000 times to each byte of the
+//! allocated block. Passive-false is similar ... except that initially
+//! one thread allocates blocks and hands them to the other threads,
+//! which free them immediately and then proceed as in Active-false.
+//! These two benchmarks capture the allocator's ability to avoid causing
+//! false sharing, whether actively or passively."
+//!
+//! An allocator *actively* induces false sharing by handing blocks from
+//! one cache line to different threads; it *passively* induces it when a
+//! remote free lets a thread's next malloc return memory still hot in
+//! another processor's cache line. The measured quantity is pure memory
+//! write bandwidth — allocator latency "plays little role" (§4.2.2).
+
+use crate::common::{run_parallel, WorkloadResult};
+use malloc_api::RawMalloc;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// The paper's block size.
+pub const BLOCK_SIZE: usize = 8;
+
+fn hammer_block(p: *mut u8, writes_per_byte: u32) {
+    for _ in 0..writes_per_byte {
+        for i in 0..BLOCK_SIZE {
+            unsafe { core::ptr::write_volatile(p.add(i), i as u8) };
+        }
+    }
+}
+
+/// Active-false: `threads` × `pairs_per_thread` iterations of
+/// malloc → hammer the block → free. `ops` counts pairs.
+pub fn run_active<A: RawMalloc + Send + Sync + 'static>(
+    alloc: Arc<A>,
+    threads: usize,
+    pairs_per_thread: u64,
+    writes_per_byte: u32,
+) -> WorkloadResult {
+    run_parallel(threads, move |_t| {
+        for _ in 0..pairs_per_thread {
+            unsafe {
+                let p = alloc.malloc(BLOCK_SIZE);
+                debug_assert!(!p.is_null());
+                hammer_block(p, writes_per_byte);
+                alloc.free(p);
+            }
+        }
+        pairs_per_thread
+    })
+}
+
+/// Passive-false: one distributor thread allocates `pairs_per_thread`
+/// blocks for each worker; workers free those remote blocks immediately,
+/// then proceed exactly as Active-false.
+pub fn run_passive<A: RawMalloc + Send + Sync + 'static>(
+    alloc: Arc<A>,
+    threads: usize,
+    pairs_per_thread: u64,
+    writes_per_byte: u32,
+) -> WorkloadResult {
+    // Distribution phase (untimed, matching "initially").
+    let mut channels = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let (tx, rx) = mpsc::channel::<usize>();
+        for _ in 0..pairs_per_thread {
+            let p = unsafe { alloc.malloc(BLOCK_SIZE) };
+            assert!(!p.is_null());
+            tx.send(p as usize).unwrap();
+        }
+        channels.push(std::sync::Mutex::new(Some(rx)));
+    }
+    let channels = Arc::new(channels);
+    let alloc2 = Arc::clone(&alloc);
+    run_parallel(threads, move |t| {
+        let rx = channels[t].lock().unwrap().take().expect("one worker per channel");
+        // Free the handed-over blocks immediately (the passive trigger),
+        // then behave as Active-false.
+        while let Ok(p) = rx.try_recv() {
+            unsafe { alloc2.free(p as *mut u8) };
+        }
+        for _ in 0..pairs_per_thread {
+            unsafe {
+                let p = alloc2.malloc(BLOCK_SIZE);
+                debug_assert!(!p.is_null());
+                hammer_block(p, writes_per_byte);
+                alloc2.free(p);
+            }
+        }
+        pairs_per_thread
+    })
+}
+
+/// Diagnostic used by tests and EXPERIMENTS.md: fraction of consecutive
+/// same-thread allocations that landed on the same cache line as another
+/// thread's live block would be the true false-sharing metric; as a
+/// cheap proxy we report how many distinct cache lines a thread's blocks
+/// touch (an allocator that packs different threads' blocks into one
+/// line shows a low per-thread line count).
+pub fn distinct_lines<A: RawMalloc>(alloc: &A, blocks: usize) -> usize {
+    let mut lines = std::collections::HashSet::new();
+    let mut ptrs = Vec::with_capacity(blocks);
+    for _ in 0..blocks {
+        let p = unsafe { alloc.malloc(BLOCK_SIZE) };
+        lines.insert(p as usize / 64);
+        ptrs.push(p);
+    }
+    for p in ptrs {
+        unsafe { alloc.free(p) };
+    }
+    lines.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlheap::LockedHeap;
+    use lfmalloc::LfMalloc;
+
+    #[test]
+    fn active_runs() {
+        let r = run_active(Arc::new(LfMalloc::new_default()), 2, 200, 10);
+        assert_eq!(r.ops, 400);
+    }
+
+    #[test]
+    fn passive_runs_and_frees_all_handed_blocks() {
+        let a = Arc::new(LfMalloc::new_default());
+        let r = run_passive(Arc::clone(&a), 3, 100, 5);
+        assert_eq!(r.ops, 300);
+        // All handed-over blocks were freed: churn again to make sure
+        // the allocator is still coherent.
+        let r2 = run_active(a, 2, 100, 1);
+        assert_eq!(r2.ops, 200);
+    }
+
+    #[test]
+    fn passive_runs_on_locked_heap() {
+        let r = run_passive(Arc::new(LockedHeap::new()), 2, 50, 2);
+        assert_eq!(r.ops, 100);
+    }
+}

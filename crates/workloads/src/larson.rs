@@ -1,0 +1,128 @@
+//! Larson (Larson & Krishnan, ISMM 1998): the server-workload
+//! simulation.
+//!
+//! "Initially one thread allocates and frees random sized blocks (16 to
+//! 80 bytes) in random order, then an equal number of blocks (1024) is
+//! handed over to each of the remaining threads. In the parallel phase
+//! ... each thread randomly selects a block and frees it, then allocates
+//! a new random-sized block in its place." Captures "the robustness of
+//! malloc's latency and scalability under irregular allocation patterns
+//! with respect to block-size and order of deallocation over a long
+//! period of time."
+//!
+//! The paper measures pairs completed in 30 seconds; we invert the knob
+//! (fixed pair count, measured time) so runs are deterministic — the
+//! throughput number is the same quantity.
+
+use crate::common::{run_parallel, WorkloadResult};
+use malloc_api::testkit::TestRng;
+use malloc_api::RawMalloc;
+use std::sync::Arc;
+
+/// Paper's smallest block size ("16 to 80 bytes").
+pub const MIN_SIZE: usize = 16;
+/// One past the paper's largest block size.
+pub const MAX_SIZE: usize = 81;
+
+/// Paper's slots per thread.
+pub const SLOTS: usize = 1024;
+
+/// Runs Larson: setup churn on the main thread, hand-over of `slots`
+/// live blocks per worker, then `pairs_per_thread` free+malloc
+/// replacements per worker. `ops` counts replacement pairs.
+pub fn run<A: RawMalloc + Send + Sync + 'static>(
+    alloc: Arc<A>,
+    threads: usize,
+    slots: usize,
+    pairs_per_thread: u64,
+    seed: u64,
+) -> WorkloadResult {
+    // --- Setup phase (untimed): one thread churns, then populates every
+    // worker's slot array. The hand-over means workers begin by freeing
+    // blocks another thread allocated — the remote-free pattern the
+    // paper calls out in Hoard's behaviour.
+    let mut rng = TestRng::new(seed);
+    unsafe {
+        let mut warmup: Vec<*mut u8> = (0..slots)
+            .map(|_| alloc.malloc(rng.range(MIN_SIZE, MAX_SIZE)))
+            .collect();
+        // Free in random order.
+        for i in (1..warmup.len()).rev() {
+            let j = rng.range(0, i + 1);
+            warmup.swap(i, j);
+        }
+        for p in warmup {
+            alloc.free(p);
+        }
+    }
+    let handoff: Vec<Vec<usize>> = (0..threads)
+        .map(|_| {
+            (0..slots)
+                .map(|_| {
+                    let p = unsafe { alloc.malloc(rng.range(MIN_SIZE, MAX_SIZE)) };
+                    assert!(!p.is_null());
+                    p as usize
+                })
+                .collect()
+        })
+        .collect();
+    let handoff = Arc::new(std::sync::Mutex::new(handoff));
+
+    // --- Parallel phase (timed).
+    let alloc2 = Arc::clone(&alloc);
+    let result = run_parallel(threads, move |t| {
+        let mut slots_vec: Vec<usize> = {
+            let mut h = handoff.lock().unwrap();
+            core::mem::take(&mut h[t])
+        };
+        let mut rng = TestRng::new(seed ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9));
+        for _ in 0..pairs_per_thread {
+            let i = rng.range(0, slots_vec.len());
+            unsafe {
+                alloc2.free(slots_vec[i] as *mut u8);
+                let sz = rng.range(MIN_SIZE, MAX_SIZE);
+                let p = alloc2.malloc(sz);
+                debug_assert!(!p.is_null());
+                core::ptr::write_volatile(p, sz as u8);
+                slots_vec[i] = p as usize;
+            }
+        }
+        // Cleanup (still inside the worker, but cheap relative to the
+        // pair loop).
+        for p in slots_vec {
+            unsafe { alloc2.free(p as *mut u8) };
+        }
+        pairs_per_thread
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlheap::LockedHeap;
+    use lfmalloc::LfMalloc;
+
+    #[test]
+    fn runs_on_lfmalloc() {
+        let r = run(Arc::new(LfMalloc::new_default()), 3, 128, 2_000, 42);
+        assert_eq!(r.ops, 6_000);
+    }
+
+    #[test]
+    fn runs_on_locked_heap() {
+        let r = run(Arc::new(LockedHeap::new()), 2, 64, 1_000, 7);
+        assert_eq!(r.ops, 2_000);
+    }
+
+    #[test]
+    fn no_leaks_across_run(){
+        // All slots freed at the end: live OS bytes return to the pool
+        // level, and a second run must not grow hyperblocks much.
+        let a = Arc::new(LfMalloc::new_default());
+        run(Arc::clone(&a), 2, 256, 2_000, 1);
+        let after_first = a.hyperblock_count();
+        run(Arc::clone(&a), 2, 256, 2_000, 2);
+        assert!(a.hyperblock_count() <= after_first + 1, "second run mapped new memory");
+    }
+}

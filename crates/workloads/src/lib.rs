@@ -1,0 +1,25 @@
+//! The six multithreaded allocator benchmarks of Michael (PLDI 2004)
+//! §4.1, implemented once and generic over [`malloc_api::RawMalloc`] so
+//! every allocator in the workspace runs the identical workload.
+//!
+//! | module | paper benchmark | captures |
+//! |---|---|---|
+//! | [`linux_scalability`] | Linux scalability \[Lever & Boreham\] | latency + scalability, regular private allocation |
+//! | [`threadtest`] | Threadtest \[Hoard\] | latency + scalability, batched allocation |
+//! | [`false_sharing`] | Active-false / Passive-false \[Hoard\] | allocator-induced false sharing |
+//! | [`larson`] | Larson \[Larson & Krishnan\] | robustness under irregular sizes/order, long-running |
+//! | [`producer_consumer`] | lock-free producer-consumer (new in the paper) | remote frees, one hot heap |
+//!
+//! Op counts are parameters: the paper's sizes (10M pairs/thread, 30 s
+//! phases) target a 2004 16-way SMP; the `bench` crate picks defaults
+//! that finish in seconds and the binaries accept `--ops` to run at
+//! paper scale.
+
+pub mod common;
+pub mod false_sharing;
+pub mod larson;
+pub mod linux_scalability;
+pub mod producer_consumer;
+pub mod threadtest;
+
+pub use common::WorkloadResult;

@@ -1,0 +1,61 @@
+//! Linux scalability (benchmark 1 of Lever & Boreham, FREENIX 2000).
+//!
+//! "Each thread performs 10 million malloc/free pairs of 8 byte blocks
+//! in a tight loop." Captures allocator latency and scalability under
+//! the most regular private allocation pattern; this is also the
+//! workload behind the paper's headline latency numbers (282 ns per
+//! pair on POWER4) and the 331× gap to libc malloc at 16 processors.
+
+use crate::common::{run_parallel, WorkloadResult};
+use malloc_api::RawMalloc;
+use std::sync::Arc;
+
+/// The paper's block size.
+pub const BLOCK_SIZE: usize = 8;
+
+/// Runs the benchmark: `threads` × `pairs_per_thread` malloc/free pairs
+/// of 8-byte blocks. Returns pairs as `ops`.
+pub fn run<A: RawMalloc + Send + Sync + 'static>(
+    alloc: Arc<A>,
+    threads: usize,
+    pairs_per_thread: u64,
+) -> WorkloadResult {
+    run_parallel(threads, move |_t| {
+        for _ in 0..pairs_per_thread {
+            unsafe {
+                let p = alloc.malloc(BLOCK_SIZE);
+                debug_assert!(!p.is_null());
+                // Touch the block so the compiler cannot elide the pair.
+                core::ptr::write_volatile(p, 1);
+                alloc.free(p);
+            }
+        }
+        pairs_per_thread
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlheap::LockedHeap;
+    use lfmalloc::LfMalloc;
+
+    #[test]
+    fn runs_on_lfmalloc() {
+        let r = run(Arc::new(LfMalloc::new_default()), 2, 10_000);
+        assert_eq!(r.ops, 20_000);
+        assert!(r.throughput() > 0.0);
+    }
+
+    #[test]
+    fn runs_on_locked_heap() {
+        let r = run(Arc::new(LockedHeap::new()), 2, 5_000);
+        assert_eq!(r.ops, 10_000);
+    }
+
+    #[test]
+    fn single_thread_runs() {
+        let r = run(Arc::new(LfMalloc::new_default()), 1, 1_000);
+        assert_eq!(r.ops, 1_000);
+    }
+}

@@ -1,0 +1,259 @@
+//! The paper's lock-free producer-consumer benchmark (§4.1).
+//!
+//! "Initially, a database of 1 million items is initialized randomly.
+//! One thread is the producer and the others, if any, are consumers. For
+//! each task, the producer selects a random-sized (10 to 20) random set
+//! of array indexes, allocates a block of matching size (40 to 80 bytes)
+//! to record the array indexes, then allocates a fixed size task
+//! structure (32 bytes) and a fixed size queue node (16 bytes), and
+//! enqueues the task in a lock-free FIFO queue. A consumer thread
+//! repeatedly dequeues a task, creates histograms from the database for
+//! the indexes in the task, and then spends time proportional to a
+//! parameter work performing local work ... When the number of tasks in
+//! the queue exceeds 1000, the producer helps the consumers ... Each
+//! task involves 3 malloc operations on the part of the producer, and
+//! one malloc and 4 free operations on the part of the consumer."
+//!
+//! This captures "malloc's robustness under the producer-consumer
+//! sharing pattern, where threads free blocks allocated by other
+//! threads" — the pattern that hammers Hoard's producer heap lock while
+//! the lock-free allocator's frees touch only the block's own superblock
+//! descriptor.
+
+use crate::common::{run_parallel, WorkloadResult};
+use lockfree_structs::Queue;
+use malloc_api::testkit::TestRng;
+use malloc_api::RawMalloc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Paper's smallest per-task index-set size ("random-sized (10 to 20)").
+pub const MIN_INDEXES: usize = 10;
+/// One past the paper's largest per-task index-set size.
+pub const MAX_INDEXES: usize = 21;
+
+/// Queue length at which the producer helps consume.
+pub const HELP_THRESHOLD: usize = 1000;
+
+/// Task structure size (paper: 32 bytes).
+#[repr(C)]
+struct Task {
+    index_block: *mut u8,
+    qnode: *mut u8,
+    count: u32,
+    _pad: u32,
+}
+
+const _: () = assert!(core::mem::size_of::<Task>() == 24); // allocated as 32
+
+/// Benchmark parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Database entries (paper: 1 million).
+    pub database_size: usize,
+    /// Total tasks to produce.
+    pub tasks: u64,
+    /// Consumer local-work iterations per task (the paper's knee-shaping
+    /// parameter: 500 / 750 / 1000 in Figure 8(f–h)).
+    pub work: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params { database_size: 1 << 20, tasks: 10_000, work: 500, seed: 0xFACADE }
+    }
+}
+
+struct Shared<A: RawMalloc> {
+    alloc: Arc<A>,
+    queue: Queue,
+    queue_len: AtomicUsize,
+    produced_done: AtomicBool,
+    consumed: AtomicU64,
+    database: Vec<u32>,
+    params: Params,
+    sink: AtomicU64,
+}
+
+impl<A: RawMalloc + Send + Sync> Shared<A> {
+    /// Producer side of one task: 3 mallocs + enqueue.
+    unsafe fn produce_one(&self, rng: &mut TestRng) {
+        let n = rng.range(MIN_INDEXES, MAX_INDEXES);
+        unsafe {
+            // Index block: 4 bytes per index → 40..=80 bytes.
+            let index_block = self.alloc.malloc(n * 4);
+            debug_assert!(!index_block.is_null());
+            for i in 0..n {
+                let idx = rng.range(0, self.database.len()) as u32;
+                (index_block as *mut u32).add(i).write(idx);
+            }
+            // Fixed-size task structure (32 bytes).
+            let task = self.alloc.malloc(32) as *mut Task;
+            debug_assert!(!task.is_null());
+            // Fixed-size queue node (16 bytes): the paper's queue links
+            // through this allocation; our queue manages its own links,
+            // so this block replicates the malloc/free traffic verbatim
+            // and travels with the task.
+            let qnode = self.alloc.malloc(16);
+            debug_assert!(!qnode.is_null());
+            task.write(Task { index_block, qnode, count: n as u32, _pad: 0 });
+            self.queue.push(task as usize);
+            self.queue_len.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Consumer side: dequeue + histogram + local work + 1 malloc +
+    /// 4 frees. Returns false if the queue was empty.
+    unsafe fn consume_one(&self, _rng: &mut TestRng) -> bool {
+        let Some(task_addr) = self.queue.pop() else { return false };
+        self.queue_len.fetch_sub(1, Ordering::Relaxed);
+        unsafe {
+            let task = task_addr as *mut Task;
+            let Task { index_block, qnode, count, .. } = task.read();
+            // Histogram over the database rows named by the task.
+            let mut hist = [0u64; 16];
+            for i in 0..count as usize {
+                let idx = (index_block as *const u32).add(i).read() as usize;
+                let v = self.database[idx % self.database.len()];
+                hist[(v % 16) as usize] += 1;
+            }
+            // Local work proportional to `work` (the consumer's one
+            // malloc is its scratch block, as in Threadtest's loop).
+            let scratch = self.alloc.malloc(8);
+            debug_assert!(!scratch.is_null());
+            let mut acc = 0u64;
+            for w in 0..self.params.work {
+                acc = acc.wrapping_add((w as u64).wrapping_mul(hist[(w % 16) as usize] + 1));
+            }
+            core::ptr::write_volatile(scratch as *mut u64, acc);
+            self.sink.fetch_add(acc & 0xFF, Ordering::Relaxed);
+            // The consumer's 4 frees.
+            self.alloc.free(scratch);
+            self.alloc.free(index_block);
+            self.alloc.free(qnode);
+            self.alloc.free(task as *mut u8);
+        }
+        self.consumed.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+}
+
+/// Runs the benchmark with `threads` total threads (1 producer +
+/// `threads-1` consumers; with `threads == 1` the producer consumes its
+/// own queue). `ops` counts completed tasks.
+pub fn run<A: RawMalloc + Send + Sync + 'static>(
+    alloc: Arc<A>,
+    threads: usize,
+    params: Params,
+) -> WorkloadResult {
+    let mut rng = TestRng::new(params.seed);
+    let database: Vec<u32> = (0..params.database_size).map(|_| rng.next_u64() as u32).collect();
+    let shared = Arc::new(Shared {
+        alloc,
+        queue: Queue::new(),
+        queue_len: AtomicUsize::new(0),
+        produced_done: AtomicBool::new(false),
+        consumed: AtomicU64::new(0),
+        database,
+        params,
+        sink: AtomicU64::new(0),
+    });
+
+    let shared2 = Arc::clone(&shared);
+    let mut result = run_parallel(threads, move |t| {
+        let s = &*shared2;
+        let mut rng = TestRng::new(s.params.seed ^ (t as u64 + 0x1234));
+        if t == 0 {
+            // Producer.
+            let mut produced = 0u64;
+            while produced < s.params.tasks {
+                if s.queue_len.load(Ordering::Relaxed) > HELP_THRESHOLD || threads == 1 {
+                    // "the producer helps the consumers"
+                    unsafe { s.consume_one(&mut rng) };
+                }
+                unsafe { s.produce_one(&mut rng) };
+                produced += 1;
+            }
+            s.produced_done.store(true, Ordering::Release);
+            // With no consumers, drain everything ourselves.
+            if threads == 1 {
+                while unsafe { s.consume_one(&mut rng) } {}
+            }
+            0
+        } else {
+            // Consumer: drain until production is over and the queue is
+            // verifiably empty.
+            let mut done = 0u64;
+            loop {
+                if unsafe { s.consume_one(&mut rng) } {
+                    done += 1;
+                } else if s.produced_done.load(Ordering::Acquire) {
+                    if unsafe { !s.consume_one(&mut rng) } {
+                        break;
+                    }
+                    done += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            done
+        }
+    });
+    // `ops` = tasks completed (workers' counts miss the producer's own
+    // helping; the shared counter is authoritative).
+    result.ops = shared.consumed.load(Ordering::Relaxed);
+    assert_eq!(result.ops, params.tasks, "all produced tasks must be consumed");
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlheap::LockedHeap;
+    use lfmalloc::LfMalloc;
+
+    fn small_params() -> Params {
+        Params { database_size: 10_000, tasks: 2_000, work: 100, seed: 7 }
+    }
+
+    #[test]
+    fn completes_all_tasks_multi_thread() {
+        let r = run(Arc::new(LfMalloc::new_default()), 4, small_params());
+        assert_eq!(r.ops, 2_000);
+    }
+
+    #[test]
+    fn completes_all_tasks_single_thread() {
+        let r = run(Arc::new(LfMalloc::new_default()), 1, small_params());
+        assert_eq!(r.ops, 2_000);
+    }
+
+    #[test]
+    fn runs_on_locked_heap() {
+        let r = run(Arc::new(LockedHeap::new()), 3, small_params());
+        assert_eq!(r.ops, 2_000);
+    }
+
+    #[test]
+    fn work_parameter_slows_consumers() {
+        let a = Arc::new(LfMalloc::new_default());
+        let fast = run(
+            Arc::clone(&a),
+            2,
+            Params { work: 10, tasks: 1_000, database_size: 1_000, seed: 3 },
+        );
+        let slow = run(
+            Arc::clone(&a),
+            2,
+            Params { work: 20_000, tasks: 1_000, database_size: 1_000, seed: 3 },
+        );
+        assert!(
+            slow.elapsed > fast.elapsed,
+            "work knob has no effect: {:?} !> {:?}",
+            slow.elapsed,
+            fast.elapsed
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Threadtest (from the Hoard distribution).
+//!
+//! "Each thread performs 100 iterations of allocating 100,000 8-byte
+//! blocks and then freeing them in order." Unlike Linux scalability,
+//! many blocks are simultaneously live, so superblocks fill up and the
+//! FULL/PARTIAL machinery is exercised continuously.
+
+use crate::common::{run_parallel, WorkloadResult};
+use malloc_api::RawMalloc;
+use std::sync::Arc;
+
+/// The paper's block size.
+pub const BLOCK_SIZE: usize = 8;
+
+/// Runs the benchmark: each of `threads` threads does `iterations`
+/// rounds of (allocate `batch` blocks, free them in allocation order).
+/// `ops` counts malloc/free pairs.
+pub fn run<A: RawMalloc + Send + Sync + 'static>(
+    alloc: Arc<A>,
+    threads: usize,
+    iterations: u64,
+    batch: usize,
+) -> WorkloadResult {
+    run_parallel(threads, move |_t| {
+        let mut blocks: Vec<*mut u8> = Vec::with_capacity(batch);
+        for _ in 0..iterations {
+            for _ in 0..batch {
+                let p = unsafe { alloc.malloc(BLOCK_SIZE) };
+                debug_assert!(!p.is_null());
+                unsafe { core::ptr::write_volatile(p, 1) };
+                blocks.push(p);
+            }
+            // "freeing them in order"
+            for p in blocks.drain(..) {
+                unsafe { alloc.free(p) };
+            }
+        }
+        iterations * batch as u64
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlheap::LockedHeap;
+    use lfmalloc::LfMalloc;
+
+    #[test]
+    fn runs_on_lfmalloc() {
+        let r = run(Arc::new(LfMalloc::new_default()), 2, 5, 1_000);
+        assert_eq!(r.ops, 2 * 5 * 1_000);
+    }
+
+    #[test]
+    fn runs_on_locked_heap() {
+        let r = run(Arc::new(LockedHeap::new()), 2, 3, 500);
+        assert_eq!(r.ops, 2 * 3 * 500);
+    }
+
+    #[test]
+    fn deep_batches_exercise_many_superblocks() {
+        // 20k live 8-byte blocks spans ~20 superblocks of the 16-byte
+        // class.
+        let a = Arc::new(LfMalloc::new_default());
+        let r = run(Arc::clone(&a), 1, 1, 20_000);
+        assert_eq!(r.ops, 20_000);
+        assert!(a.hyperblock_count() >= 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Structural false-sharing check.
+//!
+//! Figure 8(c)/(d) measure false sharing *dynamically* (cache-line
+//! ping-pong between processors), which a single-CPU machine cannot
+//! exhibit. The underlying allocator property is structural, though,
+//! and testable anywhere: an allocator avoids *actively inducing* false
+//! sharing iff blocks handed to different threads never share a cache
+//! line. The lock-free allocator inherits this from Hoard's design:
+//! different threads draw from different processor heaps, hence from
+//! different (16 KiB-aligned) superblocks.
+
+use lfmalloc_repro::prelude::*;
+use std::collections::HashSet;
+use std::sync::atomic::AtomicUsize;
+use std::sync::{Arc, Barrier};
+
+const LINE: usize = 64;
+
+/// Each of two threads allocates many small blocks simultaneously;
+/// returns the two live address sets.
+fn two_thread_allocation_sets<A: RawMalloc + Send + Sync + 'static>(
+    alloc: Arc<A>,
+    blocks: usize,
+    size: usize,
+) -> (Vec<usize>, Vec<usize>) {
+    let barrier = Arc::new(Barrier::new(2));
+    let free_after = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..2 {
+        let alloc = Arc::clone(&alloc);
+        let barrier = Arc::clone(&barrier);
+        let _ = Arc::clone(&free_after);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            let ptrs: Vec<usize> =
+                (0..blocks).map(|_| unsafe { alloc.malloc(size) } as usize).collect();
+            assert!(ptrs.iter().all(|&p| p != 0));
+            ptrs
+        }));
+    }
+    let a = handles.remove(0).join().unwrap();
+    let b = handles.remove(0).join().unwrap();
+    (a, b)
+}
+
+fn shared_lines(a: &[usize], b: &[usize], size: usize) -> usize {
+    let lines = |v: &[usize]| -> HashSet<usize> {
+        v.iter().flat_map(|&p| (p / LINE)..=((p + size - 1) / LINE)).collect()
+    };
+    lines(a).intersection(&lines(b)).count()
+}
+
+#[test]
+fn lfmalloc_never_shares_lines_between_threads() {
+    // 8 heaps, 2 threads with consecutive thread ids: distinct heaps,
+    // hence distinct superblocks, hence distinct cache lines.
+    let alloc = Arc::new(LfMalloc::with_config(Config::with_heaps(8)));
+    let (a, b) = two_thread_allocation_sets(Arc::clone(&alloc), 2_000, 8);
+    let shared = shared_lines(&a, &b, 8);
+    assert_eq!(
+        shared, 0,
+        "lock-free allocator actively induced false sharing on {shared} lines"
+    );
+    for p in a.into_iter().chain(b) {
+        unsafe { alloc.free(p as *mut u8) };
+    }
+}
+
+#[test]
+fn hoard_never_shares_lines_between_threads() {
+    // Hoard's design property, same argument.
+    let alloc = Arc::new(Hoard::new(8));
+    let (a, b) = two_thread_allocation_sets(Arc::clone(&alloc), 2_000, 8);
+    assert_eq!(shared_lines(&a, &b, 8), 0);
+    for p in a.into_iter().chain(b) {
+        unsafe { alloc.free(p as *mut u8) };
+    }
+}
+
+#[test]
+fn serial_allocator_does_share_lines() {
+    // The contrast that makes the two tests above meaningful: a single
+    // serial heap interleaves threads' 8-byte blocks in the same chunks
+    // of address space. (If this ever fails, the structural tests above
+    // have lost their discriminating power and should be revisited.)
+    let alloc = Arc::new(LockedHeap::new());
+    let (a, b) = two_thread_allocation_sets(Arc::clone(&alloc), 2_000, 8);
+    let shared = shared_lines(&a, &b, 8);
+    assert!(
+        shared > 0,
+        "expected the serial baseline to interleave allocations across threads"
+    );
+    for p in a.into_iter().chain(b) {
+        unsafe { alloc.free(p as *mut u8) };
+    }
+}
+
+#[test]
+fn remote_free_does_not_poison_future_locality() {
+    // Passive false sharing: thread B frees blocks allocated by thread
+    // A; B's *subsequent* allocations must still come from B's own
+    // heap, not from A's returned lines. In lfmalloc a remote free goes
+    // back to the block's own superblock (owned by A's heap), so B's
+    // next blocks cannot land there unless B's heap adopts that
+    // superblock.
+    let alloc = Arc::new(LfMalloc::with_config(Config::with_heaps(8)));
+    // Thread A allocates and keeps half, sending half away.
+    let (keep, give): (Vec<usize>, Vec<usize>) = {
+        let alloc = Arc::clone(&alloc);
+        std::thread::spawn(move || {
+            let all: Vec<usize> =
+                (0..2_000).map(|_| unsafe { alloc.malloc(8) } as usize).collect();
+            let give = all[1_000..].to_vec();
+            (all[..1_000].to_vec(), give)
+        })
+        .join()
+        .unwrap()
+    };
+    // Thread B frees A's blocks, then allocates its own.
+    let mine: Vec<usize> = {
+        let alloc = Arc::clone(&alloc);
+        std::thread::spawn(move || {
+            for p in give {
+                unsafe { alloc.free(p as *mut u8) };
+            }
+            (0..1_000).map(|_| unsafe { alloc.malloc(8) } as usize).collect()
+        })
+        .join()
+        .unwrap()
+    };
+    let shared = shared_lines(&keep, &mine, 8);
+    assert_eq!(shared, 0, "remote frees fed another thread's lines back ({shared} shared)");
+    for p in keep.into_iter().chain(mine) {
+        unsafe { alloc.free(p as *mut u8) };
+    }
+}

@@ -1,0 +1,82 @@
+//! End-to-end: the lock-free allocator as this test binary's Rust
+//! global allocator. Every `Vec`, `String`, `HashMap`, channel buffer
+//! and test-harness allocation below is served by the PLDI 2004
+//! algorithm.
+
+use lfmalloc_repro::prelude::*;
+use std::collections::HashMap;
+
+#[global_allocator]
+static GLOBAL: GlobalLfMalloc = GlobalLfMalloc::new();
+
+#[test]
+fn std_collections_work() {
+    let mut m: HashMap<String, Vec<u32>> = HashMap::new();
+    for i in 0..5_000u32 {
+        m.entry(format!("k{}", i % 101)).or_default().push(i);
+    }
+    assert_eq!(m.values().map(Vec::len).sum::<usize>(), 5_000);
+    let mut keys: Vec<&String> = m.keys().collect();
+    keys.sort();
+    assert_eq!(keys.len(), 101);
+}
+
+#[test]
+fn multithreaded_string_churn() {
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut v = Vec::new();
+                for i in 0..10_000usize {
+                    v.push(format!("t{t}-{i}-{}", "x".repeat(i % 64)));
+                    if v.len() > 50 {
+                        v.swap_remove(i % v.len());
+                    }
+                }
+                v.into_iter().map(|s| s.len()).sum::<usize>()
+            })
+        })
+        .collect();
+    let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(total > 0);
+}
+
+#[test]
+fn cross_thread_moves() {
+    // Allocate on one thread, grow/drop on another (remote frees through
+    // the global allocator).
+    let (tx, rx) = std::sync::mpsc::channel::<Vec<u8>>();
+    let producer = std::thread::spawn(move || {
+        for i in 0..1_000usize {
+            tx.send(vec![i as u8; 16 + i % 1_000]).unwrap();
+        }
+    });
+    let mut bytes = 0usize;
+    for mut v in rx {
+        v.extend_from_slice(&[1, 2, 3]);
+        bytes += v.len();
+    }
+    producer.join().unwrap();
+    assert!(bytes > 0);
+}
+
+#[test]
+fn large_and_aligned_layouts() {
+    // Vec with large capacity exercises the large-block path through
+    // GlobalAlloc; Box<[u128]> exercises 16-byte alignment.
+    let big: Vec<u64> = (0..200_000).collect();
+    assert_eq!(big.len(), 200_000);
+    let aligned: Box<[u128]> = (0..1_000u128).collect();
+    assert_eq!(aligned.as_ptr() as usize % 16, 0);
+    assert_eq!(aligned[999], 999);
+}
+
+#[test]
+fn allocator_reports_usage() {
+    // Force some traffic, then check the instance accounting is sane.
+    let v: Vec<Vec<u8>> = (0..100).map(|i| vec![0u8; 100 + i]).collect();
+    let stats = GLOBAL.instance().os_stats();
+    assert!(stats.peak_bytes > 0);
+    assert!(stats.live_bytes > 0);
+    drop(v);
+}

@@ -1,0 +1,124 @@
+//! The paper's availability claims, exercised as tests:
+//!
+//! "A lock-free object must be immune to deadlock even if any number of
+//! threads are killed while operating on it. Accordingly, a lock-free
+//! object must offer guaranteed availability regardless of arbitrary
+//! thread termination or crash-failure."
+//!
+//! We cannot literally kill a thread mid-instruction from safe Rust, but
+//! the observable effect of a kill inside `malloc` is precise: the dying
+//! thread holds some partial state (a reserved credit, a half-installed
+//! superblock) and never completes its operation. The
+//! `simulate_killed_reservation` hook reproduces the canonical case —
+//! killed between the reservation CAS and the block pop — and these
+//! tests verify the allocator's guarantee: everyone else keeps going.
+
+use lfmalloc_repro::prelude::*;
+use malloc_api::testkit;
+use std::sync::Arc;
+
+#[test]
+fn allocation_survives_abandoned_reservations() {
+    let a = LfMalloc::with_config(Config::with_heaps(1)); // all threads share heap 0
+    unsafe {
+        // Warm up: install an active superblock.
+        let p = a.malloc(64);
+        assert!(!p.is_null());
+        a.free(p);
+        // "Kill" 200 threads mid-malloc.
+        let mut kills = 0;
+        for _ in 0..200 {
+            if a.simulate_killed_reservation(64) {
+                kills += 1;
+            }
+            // The allocator must still serve this thread.
+            let q = a.malloc(64);
+            assert!(!q.is_null(), "allocation blocked after {kills} kills");
+            testkit::fill(q, 64);
+            testkit::check_fill(q, 64);
+            a.free(q);
+        }
+        assert!(kills > 0, "the hook never found an active superblock to die in");
+    }
+}
+
+#[test]
+fn killed_reservations_leak_at_most_one_block_each() {
+    let a = LfMalloc::with_config(Config::with_heaps(1));
+    unsafe {
+        let p = a.malloc(16);
+        a.free(p);
+        let mut kills = 0usize;
+        for _ in 0..50 {
+            if a.simulate_killed_reservation(16) {
+                kills += 1;
+            }
+        }
+        println!("abandoned {kills} reservations");
+        // Churn hard; the allocator must reuse memory normally. The
+        // kills cost at most `kills` blocks (24 B each here), not
+        // superblocks.
+        for _ in 0..10 {
+            let blocks: Vec<*mut u8> = (0..5_000).map(|_| a.malloc(16)).collect();
+            for b in &blocks {
+                assert!(!b.is_null());
+            }
+            for b in blocks {
+                a.free(b);
+            }
+        }
+        assert!(
+            a.hyperblock_count() <= 2,
+            "kills must not leak whole superblocks: {} hyperblocks",
+            a.hyperblock_count()
+        );
+    }
+}
+
+#[test]
+fn concurrent_threads_progress_while_killer_rampages() {
+    // One thread continuously "kills itself" mid-malloc; four workers
+    // hammer the same single heap. Total progress must match the
+    // workers' demands exactly.
+    let a = Arc::new(LfMalloc::with_config(Config::with_heaps(1)));
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let killer = {
+        let a = Arc::clone(&a);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut kills = 0usize;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                if a.simulate_killed_reservation(64) {
+                    kills += 1;
+                }
+                std::thread::yield_now();
+            }
+            kills
+        })
+    };
+
+    let mut workers = Vec::new();
+    for t in 0..4u64 {
+        let a = Arc::clone(&a);
+        workers.push(std::thread::spawn(move || {
+            let mut rng = testkit::TestRng::new(t + 99);
+            for _ in 0..20_000 {
+                unsafe {
+                    let sz = rng.range(1, 128);
+                    let p = a.malloc(sz);
+                    assert!(!p.is_null());
+                    testkit::fill(p, sz);
+                    testkit::check_fill(p, sz);
+                    a.free(p);
+                }
+            }
+        }));
+    }
+    for w in workers {
+        w.join().unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    let kills = killer.join().unwrap();
+    println!("workers completed 80k pairs alongside {kills} mid-malloc kills");
+}

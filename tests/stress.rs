@@ -1,0 +1,156 @@
+//! Heavier stress and invariant tests for the lock-free allocator,
+//! run end-to-end through the public API.
+
+use lfmalloc_repro::prelude::*;
+use malloc_api::testkit::{self, TestRng};
+use std::sync::Arc;
+
+#[test]
+fn mixed_size_mixed_thread_torture() {
+    // 4 threads, sizes spanning every size class plus the large path,
+    // random free order, data integrity on every block.
+    let a = Arc::new(LfMalloc::new_default());
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let a = Arc::clone(&a);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = TestRng::new(0x7011 + t);
+            let mut live: Vec<(*mut u8, usize)> = Vec::new();
+            for i in 0..30_000usize {
+                if !live.is_empty() && (live.len() > 100 || rng.range(0, 2) == 0) {
+                    let k = rng.range(0, live.len());
+                    let (p, sz) = live.swap_remove(k);
+                    unsafe {
+                        testkit::check_fill(p, sz.min(512));
+                        a.free(p);
+                    }
+                } else {
+                    // Mostly small, occasionally large.
+                    let sz = if i % 501 == 0 {
+                        rng.range(9_000, 100_000)
+                    } else {
+                        rng.range(1, 2_048)
+                    };
+                    unsafe {
+                        let p = a.malloc(sz);
+                        assert!(!p.is_null());
+                        testkit::fill(p, sz.min(512));
+                        live.push((p, sz));
+                    }
+                }
+            }
+            for (p, sz) in live {
+                unsafe {
+                    testkit::check_fill(p, sz.min(512));
+                    a.free(p);
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn space_blowup_is_bounded() {
+    // The paper claims space blowup bounded by a constant factor. Keep a
+    // steady live set of B bytes through heavy churn and verify the OS
+    // peak stays within a small multiple of B.
+    let a = LfMalloc::new_default();
+    let mut rng = TestRng::new(3);
+    let slots = 2_000;
+    let mut live: Vec<(*mut u8, usize)> = Vec::new();
+    let mut live_bytes = 0usize;
+    unsafe {
+        for _ in 0..slots {
+            let sz = rng.range(16, 128);
+            live.push((a.malloc(sz), sz));
+            live_bytes += sz;
+        }
+        // Churn 50k replacements without growing the live set.
+        for _ in 0..50_000 {
+            let k = rng.range(0, slots);
+            let (p, old_sz) = live[k];
+            a.free(p);
+            let sz = rng.range(16, 128);
+            live[k] = (a.malloc(sz), sz);
+            live_bytes = live_bytes - old_sz + sz;
+        }
+        let peak = a.os_stats().peak_bytes;
+        // Generous constant: superblock slack + hyperblock granularity
+        // (1 MiB floor) dominates at this scale.
+        let bound = live_bytes * 16 + (4 << 20);
+        assert!(
+            peak <= bound,
+            "peak {peak} exceeds constant-factor bound {bound} for ~{live_bytes} live bytes"
+        );
+        for (p, _) in live {
+            a.free(p);
+        }
+    }
+}
+
+#[test]
+fn empty_superblocks_are_recycled_not_leaked() {
+    let a = LfMalloc::new_default();
+    unsafe {
+        for _round in 0..50 {
+            // Fill and drain two whole superblocks' worth of one class.
+            let blocks: Vec<*mut u8> = (0..2_048).map(|_| a.malloc(8)).collect();
+            for p in blocks {
+                a.free(p);
+            }
+        }
+        assert!(
+            a.hyperblock_count() <= 2,
+            "{} hyperblocks after steady churn",
+            a.hyperblock_count()
+        );
+    }
+}
+
+#[test]
+fn all_configurations_survive_producer_consumer() {
+    use lfmalloc_repro::workloads::producer_consumer::{run, Params};
+    let params = Params { database_size: 20_000, tasks: 1_000, work: 50, seed: 5 };
+    let configs = [
+        Config::detect(),
+        Config::uniprocessor(),
+        Config::with_heaps(8),
+        Config { partial_mode: PartialMode::Lifo, ..Config::detect() },
+        Config { partial_mode: PartialMode::List, ..Config::detect() },
+        Config::detect().with_max_credits(1),
+        Config::detect().with_max_credits(7),
+    ];
+    for cfg in configs {
+        let a = Arc::new(LfMalloc::with_config(cfg));
+        let r = run(a, 3, params);
+        assert_eq!(r.ops, 1_000, "{cfg:?}");
+    }
+}
+
+#[test]
+fn thread_lifecycle_churn() {
+    // Many short-lived threads each doing a little allocation: exercises
+    // hazard-record adoption and thread-id reuse paths.
+    let a = Arc::new(LfMalloc::new_default());
+    for wave in 0..20 {
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let a = Arc::clone(&a);
+            handles.push(std::thread::spawn(move || unsafe {
+                let mut ps = Vec::new();
+                for i in 0..200 {
+                    ps.push(a.malloc(8 + (wave * 8 + t + i) % 256));
+                }
+                for p in ps {
+                    a.free(p);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}
