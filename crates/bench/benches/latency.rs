@@ -1,4 +1,4 @@
-//! Criterion micro-benchmarks for §4.2.1: contention-free latency.
+//! Micro-benchmarks for §4.2.1: contention-free latency.
 //!
 //! The paper's yardsticks:
 //!
@@ -9,84 +9,97 @@
 //!   impossible for a lock-based allocator (without per-thread private
 //!   heaps) to have lower latency than our lock-free allocator".
 //!
-//! Run with `cargo bench -p bench --bench latency`.
+//! Run with `cargo bench -p bench --bench latency`. Self-contained
+//! harness (median of timed batches) so benches build offline.
 
 use bench::{make_allocator, AllocatorKind};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use malloc_api::sync::Mutex;
+use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
-fn pair_latency(c: &mut Criterion) {
-    let mut g = c.benchmark_group("malloc-free-pair-8B");
-    for kind in AllocatorKind::all() {
-        let alloc = make_allocator(kind, 1);
-        g.bench_function(kind.label(), |b| {
-            b.iter(|| unsafe {
-                let p = alloc.malloc(black_box(8));
-                core::ptr::write_volatile(p, 1);
-                alloc.free(p);
-            })
-        });
+/// Runs `op` in timed batches and prints the median per-op nanoseconds.
+fn report<F: FnMut()>(name: &str, mut op: F) {
+    const BATCH: u32 = 10_000;
+    const SAMPLES: usize = 31;
+    // Warm up (fills caches, faults pages, installs TLS).
+    for _ in 0..BATCH {
+        op();
     }
-    g.finish();
+    let mut per_op = [0f64; SAMPLES];
+    for sample in per_op.iter_mut() {
+        let t0 = Instant::now();
+        for _ in 0..BATCH {
+            op();
+        }
+        *sample = t0.elapsed().as_nanos() as f64 / BATCH as f64;
+    }
+    per_op.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!("{name:<44} {:10.1} ns/op", per_op[SAMPLES / 2]);
 }
 
-fn yardsticks(c: &mut Criterion) {
-    let mut g = c.benchmark_group("yardsticks");
+fn pair_latency() {
+    println!("-- malloc-free-pair-8B --");
+    for kind in AllocatorKind::all() {
+        let alloc = make_allocator(kind, 1);
+        report(kind.label(), || unsafe {
+            let p = alloc.malloc(black_box(8));
+            core::ptr::write_volatile(p, 1);
+            alloc.free(p);
+        });
+    }
+}
+
+fn yardsticks() {
+    println!("-- yardsticks --");
     // The paper's "lightweight test-and-set lock" pair.
-    let mutex = parking_lot::Mutex::new(0u64);
-    g.bench_function("lock-acquire-release-pair", |b| {
-        b.iter(|| {
-            let mut v = mutex.lock();
-            *v = black_box(*v).wrapping_add(1);
-        })
+    let mutex = Mutex::new(0u64);
+    report("lock-acquire-release-pair", || {
+        let mut v = mutex.lock();
+        *v = black_box(*v).wrapping_add(1);
     });
     // A bare CAS pair (the cost model unit for the lock-free paths).
     let word = AtomicU64::new(0);
-    g.bench_function("cas-pair", |b| {
-        b.iter(|| {
-            let v = word.load(Ordering::Acquire);
-            let _ = word.compare_exchange(v, v.wrapping_add(1), Ordering::AcqRel, Ordering::Acquire);
-        })
+    report("cas-pair", || {
+        let v = word.load(Ordering::Acquire);
+        let _ = word.compare_exchange(v, v.wrapping_add(1), Ordering::AcqRel, Ordering::Acquire);
     });
-    g.finish();
 }
 
-fn size_sweep(c: &mut Criterion) {
+fn size_sweep() {
     // Latency across the size-class ladder and into the large path.
-    let mut g = c.benchmark_group("lfmalloc-size-sweep");
+    println!("-- lfmalloc-size-sweep --");
     let alloc = make_allocator(AllocatorKind::Lf, 1);
     for size in [8usize, 64, 256, 1024, 4096, 8000, 64 * 1024] {
-        g.bench_function(format!("{size}B"), |b| {
-            b.iter(|| unsafe {
-                let p = alloc.malloc(black_box(size));
-                core::ptr::write_volatile(p, 1);
-                alloc.free(p);
-            })
+        report(&format!("{size}B"), || unsafe {
+            let p = alloc.malloc(black_box(size));
+            core::ptr::write_volatile(p, 1);
+            alloc.free(p);
         });
     }
-    g.finish();
 }
 
-fn remote_free_pair(c: &mut Criterion) {
-    // Cross-thread pair cost: allocation here, free on a superblock that
-    // is never the caller's active one (steady remote pattern).
-    let mut g = c.benchmark_group("batched-pairs-64");
+fn batched_pairs() {
+    // 64 allocations then 64 frees: drains the active superblock and
+    // exercises the partial path (steady non-pair pattern).
+    println!("-- batched-pairs-64 --");
     for kind in AllocatorKind::all() {
         let alloc = make_allocator(kind, 1);
-        g.bench_function(kind.label(), |b| {
-            b.iter(|| unsafe {
-                let mut blocks = [core::ptr::null_mut::<u8>(); 64];
-                for slot in blocks.iter_mut() {
-                    *slot = alloc.malloc(black_box(8));
-                }
-                for p in blocks {
-                    alloc.free(p);
-                }
-            })
+        report(kind.label(), || unsafe {
+            let mut blocks = [core::ptr::null_mut::<u8>(); 64];
+            for slot in blocks.iter_mut() {
+                *slot = alloc.malloc(black_box(8));
+            }
+            for p in blocks {
+                alloc.free(p);
+            }
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, pair_latency, yardsticks, size_sweep, remote_free_pair);
-criterion_main!(benches);
+fn main() {
+    pair_latency();
+    yardsticks();
+    size_sweep();
+    batched_pairs();
+}

@@ -1,57 +1,46 @@
-//! Criterion wrapper over the Figure 8 sweeps (small op counts; the
-//! full parameter sweep lives in the `fig8` binary).
+//! Quick scalability smoke over the Figure 8 sweeps (small op counts;
+//! the full parameter sweep lives in the `fig8` binary).
 //!
-//! Run with `cargo bench -p bench --bench scalability`.
+//! Run with `cargo bench -p bench --bench scalability`. Self-contained
+//! harness (median of repeated runs) so benches build offline.
 
 use bench::{make_allocator, run_workload, AllocatorKind, Scale, Workload};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
-fn scalability(c: &mut Criterion) {
-    let mut g = c.benchmark_group("linux-scalability");
-    g.sample_size(10).measurement_time(Duration::from_secs(3));
+/// Runs `run` a few times and prints the median wall time.
+fn report<F: FnMut() -> Duration>(name: &str, mut run: F) {
+    const SAMPLES: usize = 5;
+    let mut times = [Duration::ZERO; SAMPLES];
+    for t in times.iter_mut() {
+        *t = run();
+    }
+    times.sort();
+    println!("{name:<44} {:10.2?} median", times[SAMPLES / 2]);
+}
+
+fn scalability() {
+    println!("-- linux-scalability --");
     for kind in AllocatorKind::all() {
         for threads in [1usize, 2, 4] {
-            g.bench_function(format!("{}/{}T", kind.label(), threads), |b| {
-                b.iter_custom(|iters| {
-                    let mut total = Duration::ZERO;
-                    for _ in 0..iters {
-                        let alloc = make_allocator(kind, threads.max(2));
-                        let r = run_workload(
-                            Workload::LinuxScalability,
-                            alloc,
-                            threads,
-                            Scale(0.02),
-                        );
-                        total += r.elapsed;
-                    }
-                    total
-                })
+            report(&format!("{}/{}T", kind.label(), threads), || {
+                let alloc = make_allocator(kind, threads.max(2));
+                run_workload(Workload::LinuxScalability, alloc, threads, Scale(0.02)).elapsed
             });
         }
     }
-    g.finish();
 }
 
-fn producer_consumer(c: &mut Criterion) {
-    let mut g = c.benchmark_group("producer-consumer");
-    g.sample_size(10).measurement_time(Duration::from_secs(3));
+fn producer_consumer() {
+    println!("-- producer-consumer --");
     for kind in AllocatorKind::all() {
-        g.bench_function(format!("{}/3T", kind.label()), |b| {
-            b.iter_custom(|iters| {
-                let mut total = Duration::ZERO;
-                for _ in 0..iters {
-                    let alloc = make_allocator(kind, 3);
-                    let r =
-                        run_workload(Workload::ProducerConsumer(500), alloc, 3, Scale(0.05));
-                    total += r.elapsed;
-                }
-                total
-            })
+        report(&format!("{}/3T", kind.label()), || {
+            let alloc = make_allocator(kind, 3);
+            run_workload(Workload::ProducerConsumer(500), alloc, 3, Scale(0.05)).elapsed
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, scalability, producer_consumer);
-criterion_main!(benches);
+fn main() {
+    scalability();
+    producer_consumer();
+}

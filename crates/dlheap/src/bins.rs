@@ -172,7 +172,7 @@ impl Bins {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use malloc_api::testkit::TestRng;
 
     // Helper: materialize a fake free chunk in a buffer.
     struct Arena {
@@ -286,17 +286,22 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn every_legal_size_has_a_bin(size in (MIN_CHUNK / 16)..(1usize << 18)) {
-            let size = size * 16;
-            let i = bin_index(size);
-            prop_assert!(i < NBINS);
+    #[test]
+    fn every_legal_size_has_a_bin() {
+        let mut rng = TestRng::new(0xB145);
+        for _ in 0..8192 {
+            let size = rng.range(MIN_CHUNK / 16, 1 << 18) * 16;
+            assert!(bin_index(size) < NBINS);
         }
+    }
 
-        #[test]
-        fn take_fit_never_returns_too_small(sizes in proptest::collection::vec((2usize..64).prop_map(|x| x * 16), 1..20), need_units in 2usize..64) {
-            let need = need_units * 16;
+    #[test]
+    fn take_fit_never_returns_too_small() {
+        let mut rng = TestRng::new(0xB146);
+        for _ in 0..256 {
+            let sizes: Vec<usize> =
+                (0..rng.range(1, 20)).map(|_| rng.range(2, 64) * 16).collect();
+            let need = rng.range(2, 64) * 16;
             let mut arena = Arena::new(1 << 20);
             let mut bins = Bins::new();
             for &s in &sizes {
@@ -304,9 +309,9 @@ mod tests {
                 unsafe { bins.insert(c, s) };
             }
             if let Some((_, got)) = unsafe { bins.take_fit(need) } {
-                prop_assert!(got >= need);
+                assert!(got >= need);
             } else {
-                prop_assert!(sizes.iter().all(|&s| s < need));
+                assert!(sizes.iter().all(|&s| s < need));
             }
         }
     }

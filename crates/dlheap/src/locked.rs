@@ -12,7 +12,7 @@
 use crate::heap::SerialHeap;
 use malloc_api::{AllocStats, RawMalloc};
 use osmem::{CountingSource, PageSource, SystemSource};
-use parking_lot::Mutex;
+use malloc_api::sync::Mutex;
 use std::sync::Arc;
 
 /// A [`SerialHeap`] behind one mutex — the "libc malloc" stand-in.

@@ -6,7 +6,6 @@ use dlheap::{LockedHeap, SerialHeap};
 use malloc_api::testkit::TestRng;
 use malloc_api::RawMalloc;
 use osmem::{CountingSource, SystemSource};
-use proptest::prelude::*;
 use std::sync::Arc;
 
 fn fresh() -> SerialHeap<CountingSource<SystemSource>> {
@@ -98,11 +97,13 @@ fn locked_heap_integrity_after_concurrent_churn() {
     assert_eq!(r.in_use_chunks, 0, "all blocks freed; report: {r:?}");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn invariants_hold_for_random_programs(ops in proptest::collection::vec((0usize..3, 1usize..4_096), 1..400)) {
+#[test]
+fn invariants_hold_for_random_programs() {
+    for case in 0..32u64 {
+        let mut rng = TestRng::new(0x1A7E_0000 + case);
+        let ops: Vec<(usize, usize)> = (0..rng.range(1, 400))
+            .map(|_| (rng.range(0, 3), rng.range(1, 4_096)))
+            .collect();
         let mut h = fresh();
         let mut live: Vec<*mut u8> = Vec::new();
         unsafe {
@@ -110,7 +111,7 @@ proptest! {
                 match op {
                     0 | 1 => {
                         let p = h.malloc(sz);
-                        prop_assert!(!p.is_null());
+                        assert!(!p.is_null());
                         live.push(p);
                     }
                     _ => {
@@ -122,11 +123,11 @@ proptest! {
                 }
             }
             let r = h.check_integrity();
-            prop_assert_eq!(r.in_use_chunks, live.len());
+            assert_eq!(r.in_use_chunks, live.len(), "case {case}");
             for p in live {
                 h.free(p);
             }
-            prop_assert_eq!(h.check_integrity().in_use_chunks, 0);
+            assert_eq!(h.check_integrity().in_use_chunks, 0, "case {case}");
         }
     }
 }

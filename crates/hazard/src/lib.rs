@@ -58,6 +58,21 @@
 pub mod record;
 pub mod sysvec;
 
+/// Failpoint shim (see `lockfree_structs::fp`): reaches the registry in
+/// `malloc-api` only under the `failpoints` feature; otherwise a no-op
+/// the optimizer removes. Hazard sites only honour yield/delay — retire
+/// and scan have no point at which abandoning is legal without breaking
+/// the reclamation bound.
+#[cfg(feature = "failpoints")]
+#[inline]
+fn fp(name: &'static str) {
+    let _ = malloc_api::failpoints::hit(name);
+}
+
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+fn fp(_name: &'static str) {}
+
 use core::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use record::Record;
 use sysvec::SysVec;
@@ -189,6 +204,7 @@ impl HazardDomain {
     /// * `reclaim` must be safe to call with (`ctx`, `ptr`) at any later
     ///   time on any thread, including during domain drop.
     pub unsafe fn retire(&self, ptr: *mut u8, ctx: *mut u8, reclaim: unsafe fn(*mut u8, *mut u8)) {
+        fp("hazard.retire");
         self.with_record(|rec| {
             let len = rec.push_retired(Retired { ptr, ctx, reclaim });
             if len >= SCAN_THRESHOLD {
@@ -246,6 +262,7 @@ impl HazardDomain {
     /// Partitions `rec`'s retired list against the union of all hazard
     /// slots; reclaims the unprotected ones.
     fn scan(&self, rec: &Record) {
+        fp("hazard.scan");
         // Stage 1: snapshot all published hazards.
         let mut hazards: SysVec<usize> = SysVec::new();
         let mut p = self.head.load(Ordering::Acquire);

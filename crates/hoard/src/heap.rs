@@ -16,7 +16,7 @@
 //! the global heap.
 
 use crate::sb::{region_of, SbHeader, GROUPS, GROUP_FULL, OWNER_GLOBAL, SB_SIZE};
-use parking_lot::Mutex;
+use malloc_api::sync::Mutex;
 
 /// Emptiness fraction numerator: `f = 1/4` (Hoard's default).
 pub const EMPTY_FRACTION_NUM: usize = 1;
@@ -232,7 +232,7 @@ pub unsafe fn lock_owner<'a>(
     heaps: &'a [HoardHeap],
     global: &'a HoardHeap,
     sb: *mut SbHeader,
-) -> (usize, parking_lot::MutexGuard<'a, HeapInner>) {
+) -> (usize, malloc_api::sync::MutexGuard<'a, HeapInner>) {
     loop {
         let owner = unsafe { (*sb).load_owner() };
         let heap = if owner == OWNER_GLOBAL { global } else { &heaps[owner] };

@@ -121,6 +121,14 @@ unsafe fn malloc_from_active<S: PageSource>(
         if oldactive.is_null() {
             return None; // line 2
         }
+        let fp = malloc_api::fail_point!("active.reserve");
+        if fp.kill {
+            return None; // died before the reservation CAS: nothing taken
+        }
+        if fp.retry {
+            oldactive = heap.load_active();
+            continue;
+        }
         let newactive = if oldactive.credits() == 0 {
             Active::null() // line 4: taking the last credit
         } else {
@@ -134,12 +142,20 @@ unsafe fn malloc_from_active<S: PageSource>(
     // After this CAS we are *guaranteed* a block in this superblock;
     // the state may meanwhile become FULL, PARTIAL, or even the active
     // superblock of a different heap — but never EMPTY (paper §3.2.3).
+    if malloc_api::fail_point!("active.reserved").kill {
+        // The paper's canonical kill window (between lines 6 and 8):
+        // the reservation leaks one block, same as `abandon_reservation`.
+        return None;
+    }
     let desc_ptr = reserved.desc();
     let desc = unsafe { &*desc_ptr };
 
     // -- Second step: pop block (lock-free LIFO pop with ABA tag) -----
     let mut morecredits = 0;
     let (block, oldanchor) = loop {
+        if malloc_api::fail_point!("active.pop").retry {
+            continue; // forced CAS-failure arm of the pop loop
+        }
         let oldanchor = desc.load_anchor(); // line 8
         let sb = desc.sb() as usize;
         let sz = desc.sz() as usize;
@@ -183,6 +199,12 @@ pub(crate) unsafe fn update_active<S: PageSource>(
     morecredits: u32,
 ) {
     debug_assert!(morecredits >= 1);
+    if malloc_api::fail_point!("active.update").kill {
+        // Died holding `morecredits` reserved blocks: they leak, the
+        // superblock floats unreferenced — legal per the paper's
+        // availability argument.
+        return;
+    }
     let newactive = Active::pack(desc_ptr, morecredits - 1); // lines 1-2
     if heap.cas_active(Active::null(), newactive).is_ok() {
         return; // line 3
@@ -203,6 +225,11 @@ pub(crate) unsafe fn update_active<S: PageSource>(
 /// most-recently-used Partial slot; the displaced occupant (if any)
 /// goes to the size class's partial list.
 pub(crate) unsafe fn heap_put_partial<S: PageSource>(inner: &Inner<S>, desc: *mut Descriptor) {
+    if malloc_api::fail_point!("partial.put").kill {
+        // Died before re-linking: the descriptor (and its partial
+        // superblock) leak, reachable from no structure.
+        return;
+    }
     let heap = unsafe { &*(*desc).heap() };
     let prev = heap.swap_partial(desc); // lines 1-2 (swap == CAS loop)
     if !prev.is_null() {
@@ -218,6 +245,13 @@ unsafe fn heap_get_partial<S: PageSource>(
     heap: &ProcHeap,
 ) -> Option<*mut Descriptor> {
     loop {
+        let fp = malloc_api::fail_point!("partial.get");
+        if fp.kill {
+            return None; // died before taking anything
+        }
+        if fp.retry {
+            continue;
+        }
         let desc = heap.load_partial(); // line 1
         if desc.is_null() {
             return unsafe { inner.classes[heap.class()].partial.get(&inner.domain) };
@@ -238,6 +272,11 @@ unsafe fn malloc_from_partial<S: PageSource>(
 ) -> Option<(usize, *const Descriptor)> {
     'retry: loop {
         let desc_ptr = unsafe { heap_get_partial(inner, heap) }?; // line 1-2
+        if malloc_api::fail_point!("partial.reserve").kill {
+            // Died holding a descriptor plucked from the partial list:
+            // the descriptor and its superblock leak.
+            return None;
+        }
         let desc = unsafe { &*desc_ptr };
         desc.set_heap(heap as *const _ as *mut ProcHeap); // line 3
 

@@ -177,7 +177,7 @@ impl core::fmt::Debug for Anchor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use malloc_api::testkit::TestRng;
 
     #[test]
     fn field_widths_sum_to_64() {
@@ -231,32 +231,37 @@ mod tests {
         assert_eq!(a.state(), SbState::Full);
     }
 
-    proptest! {
-        #[test]
-        fn pack_roundtrip(avail in 0u32..MAX_BLOCKS, count in 0u32..(1 << COUNT_BITS), state_bits in 0u8..4) {
-            let state = SbState::from_bits(state_bits as u64);
+    #[test]
+    fn pack_roundtrip_randomized() {
+        let mut rng = TestRng::new(0xA2C0);
+        for _ in 0..4096 {
+            let avail = rng.range(0, MAX_BLOCKS as usize) as u32;
+            let count = rng.range(0, 1 << COUNT_BITS) as u32;
+            let state = SbState::from_bits(rng.range(0, 4) as u64);
             let a = Anchor::new(avail, count, state);
-            prop_assert_eq!(a.avail(), avail);
-            prop_assert_eq!(a.count(), count);
-            prop_assert_eq!(a.state(), state);
+            assert_eq!(a.avail(), avail);
+            assert_eq!(a.count(), count);
+            assert_eq!(a.state(), state);
         }
+    }
 
-        #[test]
-        fn with_fields_are_independent(
-            avail in 0u32..MAX_BLOCKS,
-            count in 0u32..(1 << COUNT_BITS),
-            new_avail in 0u32..MAX_BLOCKS,
-            new_count in 0u32..(1 << COUNT_BITS),
-        ) {
+    #[test]
+    fn with_fields_are_independent_randomized() {
+        let mut rng = TestRng::new(0xA2C1);
+        for _ in 0..4096 {
+            let avail = rng.range(0, MAX_BLOCKS as usize) as u32;
+            let count = rng.range(0, 1 << COUNT_BITS) as u32;
+            let new_avail = rng.range(0, MAX_BLOCKS as usize) as u32;
+            let new_count = rng.range(0, 1 << COUNT_BITS) as u32;
             let a = Anchor::new(avail, count, SbState::Active)
                 .with_tag_bump()
                 .with_avail(new_avail)
                 .with_count(new_count)
                 .with_state(SbState::Empty);
-            prop_assert_eq!(a.avail(), new_avail);
-            prop_assert_eq!(a.count(), new_count);
-            prop_assert_eq!(a.state(), SbState::Empty);
-            prop_assert_eq!(a.tag(), 1);
+            assert_eq!(a.avail(), new_avail);
+            assert_eq!(a.count(), new_count);
+            assert_eq!(a.state(), SbState::Empty);
+            assert_eq!(a.tag(), 1);
         }
     }
 }

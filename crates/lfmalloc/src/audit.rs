@@ -1,0 +1,481 @@
+//! Offline heap-integrity auditing.
+//!
+//! [`LfMalloc::audit`] walks every allocator structure and cross-checks
+//! the paper's invariants, returning a structured [`AuditReport`]. It is
+//! the oracle for the fault-injection torture suite: after any schedule
+//! of mallocs, frees, injected CAS failures, simulated thread kills and
+//! OS allocation failures, the heap must still audit clean.
+//!
+//! # What "clean" means under kills
+//!
+//! The paper's lock-freedom guarantees that a thread killed inside
+//! malloc/free leaks at most a bounded amount (one block, descriptor or
+//! superblock per kill) but never corrupts shared structures. The audit
+//! therefore checks *one-directional* invariants that survive legal
+//! leaks:
+//!
+//! * Every descriptor linked from a heap `Active` word, a heap partial
+//!   slot or a size-class partial list lies inside a descriptor slab, is
+//!   not simultaneously on `DescAvail`, and is linked from exactly one
+//!   place.
+//! * A linked descriptor's geometry matches its size class
+//!   (`sz == CLASS_SIZES[ci]`, `maxcount == SB_SIZE / sz`), its
+//!   superblock pointer lies inside a mapped hyperblock at superblock
+//!   alignment, and its anchor state is legal for its location (an
+//!   installed active descriptor is `ACTIVE`; slot/list members are
+//!   `PARTIAL` or `EMPTY`).
+//! * The superblock free list holds **at least** `count` (+
+//!   `credits + 1` for the installed active superblock) distinct,
+//!   in-range blocks — walked by following the in-block next indices
+//!   from `anchor.avail`. Kills may leak blocks, which makes the free
+//!   list *longer* than the anchor accounts for (leaked reservations)
+//!   or leaves allocated blocks unreachable, but never shorter and
+//!   never cyclic.
+//! * `EMPTY` descriptors record `count == maxcount - 1` (all blocks
+//!   free except the conceptual one being freed); their superblock may
+//!   already be recycled, so it is not walked.
+//! * The hazard domain's retired backlog respects the Michael-2004
+//!   reclamation bound (`R ≤ records * (SCAN_THRESHOLD + H)`).
+//! * OS-level accounting reconciles:
+//!   `live_bytes == superblock hyperblocks + descriptor slabs + live
+//!   large-block bytes`.
+//!
+//! # Concurrency
+//!
+//! The audit is designed for quiescent instances (no concurrent
+//! malloc/free), which is how the torture tests call it. Running it
+//! concurrently is memory-safe — every pointer it follows stays inside
+//! never-unmapped slabs — but may report spurious violations from torn
+//! logical snapshots.
+
+use crate::anchor::SbState;
+use crate::config::SB_SIZE;
+use crate::descriptor::Descriptor;
+use crate::heap::ProcHeap;
+use crate::instance::{Inner, LfMalloc};
+use crate::size_classes::NUM_CLASSES;
+use core::sync::atomic::Ordering;
+use hazard::{SCAN_THRESHOLD, SLOTS_PER_RECORD};
+use osmem::PageSource;
+use std::collections::{HashMap, HashSet};
+
+/// One failed invariant check.
+#[derive(Debug, Clone)]
+pub struct AuditViolation {
+    /// Stable dotted identifier of the check (e.g. `sb.freelist-short`).
+    pub check: &'static str,
+    /// Human-readable context: which descriptor/heap/class, observed vs
+    /// expected values.
+    pub detail: String,
+}
+
+impl core::fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "[{}] {}", self.check, self.detail)
+    }
+}
+
+/// Structured result of a heap walk: coverage counters plus every
+/// violation found. Counters let tests assert the audit actually
+/// traversed something, not just vacuously passed.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    /// Descriptor slots in all slabs.
+    pub descriptors_total: usize,
+    /// Descriptors on the `DescAvail` free stack.
+    pub descriptors_free: usize,
+    /// Descriptors linked from actives, heap slots or class lists.
+    pub descriptors_linked: usize,
+    /// Descriptors neither free nor linked: `FULL` superblocks' owners
+    /// plus anything legally leaked by kills.
+    pub descriptors_floating: usize,
+    /// Free blocks visited across all superblock free-list walks.
+    pub free_blocks_walked: usize,
+    /// Retired pointers awaiting hazard reclamation.
+    pub retired_pending: usize,
+    /// Live large blocks.
+    pub large_live: usize,
+    /// Every failed check.
+    pub violations: Vec<AuditViolation>,
+}
+
+impl AuditReport {
+    /// True when no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl core::fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "audit: {} descriptors ({} free, {} linked, {} floating), \
+             {} free blocks walked, {} retired pending, {} large live, {} violation(s)",
+            self.descriptors_total,
+            self.descriptors_free,
+            self.descriptors_linked,
+            self.descriptors_floating,
+            self.free_blocks_walked,
+            self.retired_pending,
+            self.large_live,
+            self.violations.len()
+        )?;
+        for v in &self.violations {
+            write!(f, "\n  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Where a linked descriptor was found.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LinkKind {
+    Active,
+    HeapSlot,
+    ClassList,
+}
+
+struct Link {
+    desc: *mut Descriptor,
+    kind: LinkKind,
+    class: usize,
+    /// Credits of the Active word (installed actives only).
+    credits: Option<u32>,
+    /// Owning heap (installed actives only) for the back-reference check.
+    heap: Option<*const ProcHeap>,
+    place: String,
+}
+
+impl<S: PageSource> LfMalloc<S> {
+    /// Walks the whole instance and checks the paper's structural
+    /// invariants; see the [module docs](crate::audit) for the list.
+    ///
+    /// Call while quiescent (no concurrent malloc/free). Concurrent use
+    /// is memory-safe but may report spurious violations.
+    pub fn audit(&self) -> AuditReport {
+        audit_inner(self.inner())
+    }
+}
+
+fn audit_inner<S: PageSource>(inner: &Inner<S>) -> AuditReport {
+    let mut rep = AuditReport::default();
+
+    // -- Descriptor universe: every slab slot, and the free subset. ----
+    let all = inner.desc_pool.all_descriptors();
+    let all_set: HashSet<usize> = all.iter().map(|d| *d as usize).collect();
+    let free = unsafe { inner.desc_pool.free_descriptors() };
+    let mut free_set: HashSet<usize> = HashSet::new();
+    for d in &free {
+        let a = *d as usize;
+        if !all_set.contains(&a) {
+            rep.violations.push(AuditViolation {
+                check: "desc.free-foreign",
+                detail: format!("DescAvail entry {a:#x} outside every descriptor slab"),
+            });
+        }
+        if !free_set.insert(a) {
+            rep.violations.push(AuditViolation {
+                check: "desc.free-cycle",
+                detail: format!("DescAvail entry {a:#x} appears twice"),
+            });
+            break; // the stack is cyclic; stop counting
+        }
+    }
+    rep.descriptors_total = all.len();
+    rep.descriptors_free = free_set.len();
+
+    // -- Collect every linked descriptor. ------------------------------
+    let mut links: Vec<Link> = Vec::new();
+    for ci in 0..NUM_CLASSES {
+        for h in 0..inner.nheaps {
+            let heap = unsafe { &*inner.heaps.add(ci * inner.nheaps + h) };
+            let active = heap.load_active();
+            if !active.is_null() {
+                links.push(Link {
+                    desc: active.desc(),
+                    kind: LinkKind::Active,
+                    class: ci,
+                    credits: Some(active.credits()),
+                    heap: Some(heap as *const ProcHeap),
+                    place: format!("active[class {ci}, heap {h}]"),
+                });
+            }
+            let slot = heap.load_partial();
+            if !slot.is_null() {
+                links.push(Link {
+                    desc: slot,
+                    kind: LinkKind::HeapSlot,
+                    class: ci,
+                    credits: None,
+                    heap: None,
+                    place: format!("partial slot[class {ci}, heap {h}]"),
+                });
+            }
+        }
+        for desc in unsafe { inner.classes[ci].partial.snapshot() } {
+            links.push(Link {
+                desc,
+                kind: LinkKind::ClassList,
+                class: ci,
+                credits: None,
+                heap: None,
+                place: format!("partial list[class {ci}]"),
+            });
+        }
+    }
+
+    // -- Membership and disjointness. ----------------------------------
+    let mut seen: HashMap<usize, String> = HashMap::new();
+    for l in &links {
+        let a = l.desc as usize;
+        if !all_set.contains(&a) {
+            rep.violations.push(AuditViolation {
+                check: "desc.linked-foreign",
+                detail: format!("{} holds {a:#x}, outside every descriptor slab", l.place),
+            });
+            continue;
+        }
+        if free_set.contains(&a) {
+            rep.violations.push(AuditViolation {
+                check: "desc.linked-free",
+                detail: format!("{} holds {a:#x}, which is also on DescAvail", l.place),
+            });
+        }
+        if let Some(prev) = seen.insert(a, l.place.clone()) {
+            rep.violations.push(AuditViolation {
+                check: "desc.linked-twice",
+                detail: format!("{a:#x} linked from both {prev} and {}", l.place),
+            });
+        }
+    }
+    rep.descriptors_linked = seen.len();
+
+    // -- Per-descriptor invariants + free-list walks. ------------------
+    let sb_regions = inner.sb_pool.hyperblocks();
+    for l in &links {
+        if !all_set.contains(&(l.desc as usize)) {
+            continue; // foreign pointer: do not dereference
+        }
+        check_linked_desc(inner, l, &sb_regions, &mut rep);
+    }
+
+    // -- Floating descriptors: in use but linked nowhere. --------------
+    // Legal residents: owners of FULL superblocks and anything leaked by
+    // simulated kills. Their geometry must still be sane.
+    for d in &all {
+        let a = *d as usize;
+        if free_set.contains(&a) || seen.contains_key(&a) {
+            continue;
+        }
+        rep.descriptors_floating += 1;
+        let desc = unsafe { &**d };
+        let (sz, maxc) = (desc.sz(), desc.maxcount());
+        if sz == 0 {
+            continue; // never initialized since slab carve
+        }
+        if maxc as usize * sz as usize > SB_SIZE {
+            rep.violations.push(AuditViolation {
+                check: "desc.geometry",
+                detail: format!("floating {a:#x}: maxcount {maxc} * sz {sz} exceeds SB_SIZE"),
+            });
+            continue;
+        }
+        let anchor = desc.load_anchor();
+        if anchor.count() >= maxc {
+            rep.violations.push(AuditViolation {
+                check: "desc.count-range",
+                detail: format!(
+                    "floating {a:#x}: count {} >= maxcount {maxc}",
+                    anchor.count()
+                ),
+            });
+        }
+    }
+
+    // -- Hazard-pointer reclamation bound (Michael 2004). --------------
+    let records = inner.domain.record_count();
+    let retired = inner.domain.retired_count();
+    rep.retired_pending = retired;
+    let bound = records * (SCAN_THRESHOLD + records * SLOTS_PER_RECORD);
+    if retired > bound {
+        rep.violations.push(AuditViolation {
+            check: "hazard.retired-bound",
+            detail: format!("{retired} retired pointers exceed bound {bound} ({records} records)"),
+        });
+    }
+
+    // -- OS accounting reconciliation. ---------------------------------
+    let st = inner.source.stats();
+    let large_bytes = inner.large_bytes.load(Ordering::Relaxed);
+    let expected =
+        inner.sb_pool.mapped_bytes() + inner.desc_pool.mapped_bytes() + large_bytes;
+    if st.live_bytes != expected {
+        rep.violations.push(AuditViolation {
+            check: "bytes.reconcile",
+            detail: format!(
+                "source live_bytes {} != superblocks {} + desc slabs {} + large {large_bytes}",
+                st.live_bytes,
+                inner.sb_pool.mapped_bytes(),
+                inner.desc_pool.mapped_bytes()
+            ),
+        });
+    }
+    rep.large_live = inner.large_live.load(Ordering::Relaxed);
+    if (rep.large_live == 0) != (large_bytes == 0) {
+        rep.violations.push(AuditViolation {
+            check: "large.reconcile",
+            detail: format!("large_live {} vs large_bytes {large_bytes}", rep.large_live),
+        });
+    }
+
+    rep
+}
+
+fn check_linked_desc<S: PageSource>(
+    inner: &Inner<S>,
+    l: &Link,
+    sb_regions: &[(*mut u8, usize)],
+    rep: &mut AuditReport,
+) {
+    let desc = unsafe { &*l.desc };
+    let a = l.desc as usize;
+    let sz = desc.sz();
+    let maxc = desc.maxcount();
+    let class_sz = inner.classes[l.class].sz;
+    if sz != class_sz {
+        rep.violations.push(AuditViolation {
+            check: "desc.class-size",
+            detail: format!("{}: desc {a:#x} sz {sz} != class sz {class_sz}", l.place),
+        });
+        return;
+    }
+    if sz == 0 || maxc as usize != SB_SIZE / sz as usize {
+        rep.violations.push(AuditViolation {
+            check: "desc.geometry",
+            detail: format!("{}: desc {a:#x} sz {sz}, maxcount {maxc}", l.place),
+        });
+        return;
+    }
+
+    let anchor = desc.load_anchor();
+    let state = anchor.state();
+    let state_ok = match l.kind {
+        // An installed active descriptor is always in ACTIVE state: it
+        // is only published after the Figure 5 CAS that sets ACTIVE, and
+        // no transition away from ACTIVE happens while installed (frees
+        // cannot empty it — the Active word always accounts for at
+        // least one outstanding reservation).
+        LinkKind::Active => state == SbState::Active,
+        // Slot/list members arrive PARTIAL and may drain to EMPTY while
+        // parked; they can never be ACTIVE or FULL in place.
+        LinkKind::HeapSlot | LinkKind::ClassList => {
+            state == SbState::Partial || state == SbState::Empty
+        }
+    };
+    if !state_ok {
+        rep.violations.push(AuditViolation {
+            check: "desc.state",
+            detail: format!("{}: desc {a:#x} in illegal state {state:?}", l.place),
+        });
+        return;
+    }
+
+    if state == SbState::Empty {
+        // The superblock may already be recycled (free's dealloc runs
+        // before the descriptor leaves the lists), so only the anchor
+        // is checkable: an EMPTY anchor records all blocks free.
+        if anchor.count() != maxc - 1 {
+            rep.violations.push(AuditViolation {
+                check: "desc.empty-count",
+                detail: format!(
+                    "{}: EMPTY desc {a:#x} count {} != maxcount-1 {}",
+                    l.place,
+                    anchor.count(),
+                    maxc - 1
+                ),
+            });
+        }
+        return;
+    }
+
+    // Superblock pointer: inside a mapped hyperblock, superblock-aligned.
+    let sb = desc.sb() as usize;
+    let in_pool = sb % SB_SIZE == 0
+        && sb_regions
+            .iter()
+            .any(|&(base, bytes)| sb >= base as usize && sb + SB_SIZE <= base as usize + bytes);
+    if !in_pool {
+        rep.violations.push(AuditViolation {
+            check: "desc.sb-range",
+            detail: format!("{}: desc {a:#x} superblock {sb:#x} not in the page pool", l.place),
+        });
+        return;
+    }
+
+    // Installed actives: the descriptor's heap back-reference must name
+    // the heap it is installed in.
+    if let Some(h) = l.heap {
+        if desc.heap() as *const ProcHeap != h {
+            rep.violations.push(AuditViolation {
+                check: "desc.heap-backref",
+                detail: format!(
+                    "{}: desc {a:#x} heap back-reference {:?} != {h:?}",
+                    l.place,
+                    desc.heap()
+                ),
+            });
+        }
+    }
+
+    // Credit conservation upper bound: blocks the anchor + Active word
+    // account for can never exceed the superblock population.
+    let reserved = l.credits.map_or(0, |c| c as usize + 1);
+    let expected = anchor.count() as usize + reserved;
+    if expected > maxc as usize {
+        rep.violations.push(AuditViolation {
+            check: "desc.overcommit",
+            detail: format!(
+                "{}: desc {a:#x} count {} + reserved {reserved} > maxcount {maxc}",
+                l.place,
+                anchor.count()
+            ),
+        });
+        return;
+    }
+
+    // Free-list walk: at least `expected` distinct in-range blocks must
+    // be reachable from `anchor.avail`. Kills may leak *extra* blocks
+    // onto the list (abandoned reservations), so the walk stops after
+    // `expected` — a longer list is legal, a shorter or cyclic one is
+    // corruption.
+    let mut visited: HashSet<u64> = HashSet::new();
+    let mut idx = anchor.avail() as u64;
+    for step in 0..expected {
+        if idx >= maxc as u64 {
+            rep.violations.push(AuditViolation {
+                check: "sb.freelist-short",
+                detail: format!(
+                    "{}: desc {a:#x} free list ended at {step}/{expected} (next index {idx})",
+                    l.place
+                ),
+            });
+            break;
+        }
+        if !visited.insert(idx) {
+            rep.violations.push(AuditViolation {
+                check: "sb.freelist-cycle",
+                detail: format!(
+                    "{}: desc {a:#x} free list revisits block {idx} at {step}/{expected}",
+                    l.place
+                ),
+            });
+            break;
+        }
+        // The first word of a free block is its next-free index (written
+        // by the superblock carve or by free); quiescent free blocks
+        // always hold a value <= maxcount.
+        idx = unsafe { *((sb + idx as usize * sz as usize) as *const u64) };
+    }
+    rep.free_blocks_walked += visited.len();
+}

@@ -178,8 +178,16 @@ impl DescriptorPool {
         domain: &HazardDomain,
         source: &S,
     ) -> *mut Descriptor {
-        if let Some(d) = unsafe { self.avail.pop(domain, SLOT_DESC) } {
-            return d;
+        let fp = malloc_api::fail_point!("desc.alloc");
+        if fp.kill {
+            return core::ptr::null_mut(); // the caller sees OOM
+        }
+        if !fp.retry {
+            // `retry` skips the `DescAvail` fast path once, forcing the
+            // slab-refill slow path even when descriptors are available.
+            if let Some(d) = unsafe { self.avail.pop(domain, SLOT_DESC) } {
+                return d;
+            }
         }
         let slab = self.slabs.alloc(source);
         if slab.is_null() {
@@ -206,6 +214,9 @@ impl DescriptorPool {
     /// `desc` must be unreachable from every allocator structure, and
     /// `self` must be address-stable until the domain drops.
     pub unsafe fn retire(&self, domain: &HazardDomain, desc: *mut Descriptor) {
+        if malloc_api::fail_point!("desc.retire").kill {
+            return; // died before retiring: the descriptor leaks
+        }
         unsafe fn reclaim(ctx: *mut u8, ptr: *mut u8) {
             let pool = unsafe { &*(ctx as *const DescriptorPool) };
             unsafe { pool.avail.push(ptr as *mut Descriptor) };
@@ -217,6 +228,35 @@ impl DescriptorPool {
     /// allocated memory" in the paper's accounting).
     pub fn slab_count(&self) -> usize {
         self.slabs.hyperblock_count()
+    }
+
+    /// Bytes mapped for descriptor slabs (audit accounting).
+    pub fn mapped_bytes(&self) -> usize {
+        self.slabs.mapped_bytes()
+    }
+
+    /// Every descriptor slot in every slab, whether handed out or still
+    /// on `DescAvail`. The slab registry is append-only, so this is a
+    /// valid prefix even under concurrency.
+    pub fn all_descriptors(&self) -> Vec<*mut Descriptor> {
+        let mut out = Vec::new();
+        for (base, bytes) in self.slabs.hyperblocks() {
+            let n = bytes / core::mem::size_of::<Descriptor>();
+            let descs = base as *mut Descriptor;
+            for i in 0..n {
+                out.push(unsafe { descs.add(i) });
+            }
+        }
+        out
+    }
+
+    /// Descriptors currently free on `DescAvail`.
+    ///
+    /// # Safety
+    ///
+    /// Requires quiescence: no concurrent `alloc`/`retire`.
+    pub unsafe fn free_descriptors(&self) -> Vec<*mut Descriptor> {
+        unsafe { self.avail.snapshot() }
     }
 
     /// Releases all descriptor slabs.

@@ -40,6 +40,15 @@ pub(crate) unsafe fn free_small<S: PageSource>(
 
     let mut heap: *mut ProcHeap = core::ptr::null_mut();
     let (oldanchor, newanchor) = loop {
+        let fp = malloc_api::fail_point!("free.link");
+        if fp.kill {
+            // Died before the anchor CAS: the block simply stays
+            // allocated forever; the superblock is untouched.
+            return;
+        }
+        if fp.retry {
+            continue;
+        }
         let old = desc.load_anchor(); // line 7
         // line 8: link this block to the current list head. Written
         // before the CAS; the CAS's release ordering is the paper's
@@ -68,6 +77,11 @@ pub(crate) unsafe fn free_small<S: PageSource>(
     };
 
     if newanchor.state() == SbState::Empty {
+        if malloc_api::fail_point!("free.empty").kill {
+            // Died between the EMPTY transition and the recycle: the
+            // superblock and its descriptor leak with the dead thread.
+            return;
+        }
         // lines 19-21: recycle the superblock's memory, then make the
         // descriptor reclaimable.
         unsafe {

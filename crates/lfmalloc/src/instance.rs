@@ -49,6 +49,8 @@ pub(crate) struct Inner<S: PageSource> {
     pub classes: [SizeClassState; NUM_CLASSES],
     /// Count of live large blocks (diagnostics).
     pub large_live: AtomicUsize,
+    /// Total OS bytes backing live large blocks (audit accounting).
+    pub large_bytes: AtomicUsize,
 }
 
 impl<S: PageSource> Inner<S> {
@@ -141,6 +143,7 @@ impl<S: PageSource> LfMalloc<S> {
                     sz: CLASS_SIZES[i],
                 }),
                 large_live: AtomicUsize::new(0),
+                large_bytes: AtomicUsize::new(0),
             });
             // The FIFO partial lists allocate their dummy nodes now that
             // the domain has a stable address.

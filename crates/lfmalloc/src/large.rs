@@ -61,6 +61,7 @@ pub(crate) unsafe fn alloc_large<S: PageSource>(
         (*(user.sub(PREFIX_SIZE) as *const AtomicUsize))
             .store((user_off << 1) | LARGE_FLAG, Ordering::Relaxed);
         inner.large_live.fetch_add(1, Ordering::Relaxed);
+        inner.large_bytes.fetch_add(total, Ordering::Relaxed);
         user
     }
 }
@@ -85,6 +86,7 @@ pub(crate) unsafe fn free_large<S: PageSource>(inner: &Inner<S>, ptr: *mut u8, p
     let os_align = 1usize << (header & ALIGN_EXP_MASK);
     unsafe { inner.source.dealloc_pages(base, total, os_align) };
     inner.large_live.fetch_sub(1, Ordering::Relaxed);
+    inner.large_bytes.fetch_sub(total, Ordering::Relaxed);
 }
 
 #[cfg(test)]

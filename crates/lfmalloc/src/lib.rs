@@ -59,6 +59,7 @@
 pub mod active;
 pub mod alloc;
 pub mod anchor;
+pub mod audit;
 pub mod config;
 pub mod descriptor;
 pub mod free_impl;
@@ -69,6 +70,7 @@ pub mod large;
 pub mod partial;
 pub mod size_classes;
 
+pub use audit::{AuditReport, AuditViolation};
 pub use config::{Config, HeapMode, PartialMode};
 pub use global::GlobalLfMalloc;
 pub use instance::LfMalloc;

@@ -132,6 +132,20 @@ impl PartialList {
         }
     }
 
+    /// Quiescent snapshot of the descriptors currently in the list.
+    ///
+    /// # Safety
+    ///
+    /// No concurrent mutation; intended for offline auditing.
+    pub unsafe fn snapshot(&self) -> Vec<*mut Descriptor> {
+        let addrs = match self {
+            PartialList::Fifo(q) => unsafe { q.snapshot() },
+            PartialList::Lifo(s) => unsafe { s.snapshot() },
+            PartialList::List(l) => unsafe { l.snapshot() },
+        };
+        addrs.into_iter().map(|a| a as *mut Descriptor).collect()
+    }
+
     /// Best-effort emptiness check (diagnostics).
     pub fn is_empty_hint(&self) -> bool {
         match self {

@@ -122,7 +122,7 @@ pub fn blocks_per_superblock(ci: usize) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use malloc_api::testkit::TestRng;
 
     #[test]
     fn table_is_ascending_multiples_of_16() {
@@ -175,25 +175,33 @@ mod tests {
         assert_eq!(CLASS_SIZES[ci], 4096);
     }
 
-    proptest! {
-        #[test]
-        fn lookup_is_tight(total in 1usize..=MAX_SMALL_TOTAL) {
+    #[test]
+    fn lookup_is_tight_for_every_size() {
+        // Exhaustive, not sampled: the whole small range is only 8 KiB.
+        for total in 1..=MAX_SMALL_TOTAL {
             let ci = class_index(total).unwrap();
             let sz = CLASS_SIZES[ci] as usize;
-            prop_assert!(sz >= total, "class {sz} too small for {total}");
+            assert!(sz >= total, "class {sz} too small for {total}");
             if ci > 0 {
-                prop_assert!((CLASS_SIZES[ci - 1] as usize) < total,
-                    "class below ({}) would also fit {total}", CLASS_SIZES[ci - 1]);
+                assert!(
+                    (CLASS_SIZES[ci - 1] as usize) < total,
+                    "class below ({}) would also fit {total}",
+                    CLASS_SIZES[ci - 1]
+                );
             }
         }
+    }
 
-        #[test]
-        fn aligned_lookup_is_correct(total in 1usize..=4096, shift in 3u32..9) {
-            let align = 1usize << shift;
+    #[test]
+    fn aligned_lookup_is_correct_randomized() {
+        let mut rng = TestRng::new(0x517E);
+        for _ in 0..4096 {
+            let total = rng.range(1, 4097);
+            let align = 1usize << rng.range(3, 9);
             if let Some(ci) = class_index_aligned(total, align) {
                 let sz = CLASS_SIZES[ci] as usize;
-                prop_assert!(sz >= total);
-                prop_assert_eq!(sz % align, 0);
+                assert!(sz >= total);
+                assert_eq!(sz % align, 0);
             }
         }
     }

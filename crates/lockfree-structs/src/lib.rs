@@ -29,6 +29,30 @@
 //! refills call `std::alloc::System` directly (the moral equivalent of
 //! the paper's `mmap` slow path).
 
+/// Failpoint shim: the `malloc-api` dependency exists only under the
+/// `failpoints` feature, so the real registry is reached through this
+/// function; with the feature off it returns a constant struct whose
+/// `false` fields let the optimizer fold every site away.
+#[cfg(feature = "failpoints")]
+#[inline]
+pub(crate) fn fp(name: &'static str) -> malloc_api::failpoints::FpSignal {
+    malloc_api::failpoints::hit(name)
+}
+
+#[cfg(not(feature = "failpoints"))]
+#[derive(Clone, Copy)]
+pub(crate) struct FpNone {
+    pub retry: bool,
+    #[allow(dead_code)]
+    pub kill: bool,
+}
+
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub(crate) fn fp(_name: &'static str) -> FpNone {
+    FpNone { retry: false, kill: false }
+}
+
 pub mod backoff;
 pub mod list;
 pub mod pad;

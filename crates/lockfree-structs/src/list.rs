@@ -388,6 +388,27 @@ impl RawList {
     pub fn is_empty_hint(&self) -> bool {
         unmarked(self.head.load(Ordering::Acquire)).is_null()
     }
+
+    /// Quiescent snapshot: the unmarked keys currently in the list, in
+    /// order. Bounded by a cycle guard so a corrupt chain terminates.
+    ///
+    /// # Safety
+    ///
+    /// No concurrent mutation; intended for offline auditing.
+    pub unsafe fn snapshot(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut steps = 0usize;
+        let mut curr = unmarked(self.head.load(Ordering::Acquire));
+        while !curr.is_null() && steps < (1 << 24) {
+            steps += 1;
+            let next_word = unsafe { (*curr).next.load(Ordering::Acquire) };
+            if !is_marked(next_word) {
+                out.push(unsafe { (*curr).key.load(Ordering::Relaxed) });
+            }
+            curr = unmarked(next_word);
+        }
+        out
+    }
 }
 
 impl Default for RawList {

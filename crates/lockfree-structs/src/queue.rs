@@ -224,6 +224,9 @@ impl RawQueue {
             (*node).value.store(value, Ordering::Relaxed);
         }
         loop {
+            if crate::fp("queue.enqueue").retry {
+                continue; // forced retry arm (kill has no legal meaning here)
+            }
             let t = domain.protect(SLOT_HEAD, &self.tail);
             let next = unsafe { (*t).next.load(Ordering::Acquire) };
             if self.tail.load(Ordering::Acquire) != t {
@@ -257,6 +260,9 @@ impl RawQueue {
     /// `init` must have completed with this same `domain`.
     pub unsafe fn dequeue(&self, domain: &HazardDomain) -> Option<usize> {
         loop {
+            if crate::fp("queue.dequeue").retry {
+                continue;
+            }
             let h = domain.protect(SLOT_HEAD, &self.head);
             let t = self.tail.load(Ordering::Acquire);
             let next = unsafe { (*h).next.load(Ordering::Acquire) };
@@ -301,6 +307,27 @@ impl RawQueue {
     /// Slab count of the internal node pool (diagnostics).
     pub fn slab_count(&self) -> usize {
         self.pool.slab_count()
+    }
+
+    /// Quiescent snapshot: the values currently queued, head first.
+    /// Bounded by a cycle guard so a corrupt chain terminates.
+    ///
+    /// # Safety
+    ///
+    /// No concurrent enqueue/dequeue; intended for offline auditing.
+    pub unsafe fn snapshot(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        let h = self.head.load(Ordering::Acquire);
+        if h.is_null() {
+            return out;
+        }
+        // The head node is the dummy; real values start at head.next.
+        let mut p = unsafe { (*h).next.load(Ordering::Acquire) };
+        while !p.is_null() && out.len() < (1 << 24) {
+            out.push(unsafe { (*p).value.load(Ordering::Relaxed) });
+            p = unsafe { (*p).next.load(Ordering::Acquire) };
+        }
+        out
     }
 }
 

@@ -117,6 +117,22 @@ impl<const SHIFT: u32, const OFFSET: usize> TaggedStack<SHIFT, OFFSET> {
     pub fn is_empty(&self) -> bool {
         TagPtr::<SHIFT>::from_raw(self.head.load(Ordering::Acquire)).is_null()
     }
+
+    /// Quiescent snapshot: the regions currently in the stack, top
+    /// first. Bounded by a cycle guard so a corrupt chain terminates.
+    ///
+    /// # Safety
+    ///
+    /// No concurrent push/pop; intended for offline auditing.
+    pub unsafe fn snapshot(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut p = TagPtr::<SHIFT>::from_raw(self.head.load(Ordering::Acquire)).addr();
+        while p != 0 && out.len() < (1 << 24) {
+            out.push(p);
+            p = unsafe { &*((p + OFFSET) as *const AtomicUsize) }.load(Ordering::Relaxed);
+        }
+        out
+    }
 }
 
 /// A node type usable in an [`HpStack`]: exposes one intrusive link.
@@ -224,6 +240,22 @@ impl<T: Intrusive> HpStack<T> {
     /// True if the stack was empty at the time of the load.
     pub fn is_empty(&self) -> bool {
         self.head.load(Ordering::Acquire).is_null()
+    }
+
+    /// Quiescent snapshot: the nodes currently in the stack, top first.
+    /// Bounded by a cycle guard so a corrupt chain terminates.
+    ///
+    /// # Safety
+    ///
+    /// No concurrent push/pop; intended for offline auditing.
+    pub unsafe fn snapshot(&self) -> Vec<*mut T> {
+        let mut out = Vec::new();
+        let mut p = self.head.load(Ordering::Acquire);
+        while !p.is_null() && out.len() < (1 << 24) {
+            out.push(p);
+            p = unsafe { (*p).next_link().load(Ordering::Relaxed) };
+        }
+        out
     }
 }
 

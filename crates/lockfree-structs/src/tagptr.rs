@@ -114,7 +114,21 @@ impl<const SHIFT: u32> core::fmt::Debug for TagPtr<SHIFT> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+
+    /// xorshift64* (see `malloc_api::testkit::TestRng`); local copy so
+    /// this crate's tests need no dev-dependencies.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+    }
 
     #[test]
     fn null_is_null() {
@@ -147,31 +161,43 @@ mod tests {
         assert_ne!(a.raw(), b.raw(), "ABA protection requires distinct raw words");
     }
 
-    proptest! {
-        #[test]
-        fn pack_unpack_roundtrip_sb(aligned in 0usize..(1usize << 43), tag in 0u64..(1 << 21)) {
-            let addr = aligned << 14;
+    #[test]
+    fn pack_unpack_roundtrip_sb() {
+        let mut rng = Rng(0x7A97);
+        for _ in 0..4096 {
+            let addr = ((rng.next() as usize) & ((1usize << 43) - 1)) << 14;
+            let tag = rng.next() & ((1 << 21) - 1);
             let p = TagPtr::<14>::pack(addr, tag);
-            prop_assert_eq!(p.addr(), addr);
-            prop_assert_eq!(p.tag(), tag);
+            assert_eq!(p.addr(), addr);
+            assert_eq!(p.tag(), tag);
             // raw <-> from_raw roundtrip
-            prop_assert_eq!(TagPtr::<14>::from_raw(p.raw()), p);
+            assert_eq!(TagPtr::<14>::from_raw(p.raw()), p);
         }
+    }
 
-        #[test]
-        fn pack_unpack_roundtrip_desc(aligned in 0usize..(1usize << 51), tag in 0u64..(1 << 13)) {
-            let addr = aligned << 6;
+    #[test]
+    fn pack_unpack_roundtrip_desc() {
+        let mut rng = Rng(0x7A98);
+        for _ in 0..4096 {
+            let addr = ((rng.next() as usize) & ((1usize << 51) - 1)) << 6;
+            let tag = rng.next() & ((1 << 13) - 1);
             let p = TagPtr::<6>::pack(addr, tag);
-            prop_assert_eq!(p.addr(), addr);
-            prop_assert_eq!(p.tag(), tag);
+            assert_eq!(p.addr(), addr);
+            assert_eq!(p.tag(), tag);
         }
+    }
 
-        #[test]
-        fn with_addr_preserves_tag(a1 in 0usize..(1 << 40), a2 in 0usize..(1 << 40), tag in 0u64..(1 << 21)) {
-            let p = TagPtr::<14>::pack(a1 << 14, tag);
-            let q = p.with_addr(a2 << 14);
-            prop_assert_eq!(q.tag(), tag);
-            prop_assert_eq!(q.addr(), a2 << 14);
+    #[test]
+    fn with_addr_preserves_tag() {
+        let mut rng = Rng(0x7A99);
+        for _ in 0..4096 {
+            let a1 = ((rng.next() as usize) & ((1usize << 40) - 1)) << 14;
+            let a2 = ((rng.next() as usize) & ((1usize << 40) - 1)) << 14;
+            let tag = rng.next() & ((1 << 21) - 1);
+            let p = TagPtr::<14>::pack(a1, tag);
+            let q = p.with_addr(a2);
+            assert_eq!(q.tag(), tag);
+            assert_eq!(q.addr(), a2);
         }
     }
 }

@@ -34,8 +34,10 @@
 //! ```
 
 pub mod block;
+pub mod failpoints;
 pub mod layout;
 pub mod stats;
+pub mod sync;
 pub mod testkit;
 
 pub use stats::AllocStats;

@@ -78,8 +78,16 @@ impl<const SHIFT: u32> PagePool<SHIFT> {
     /// Hands out one region: from the free LIFO if possible, otherwise
     /// from a freshly mapped hyperblock. Null only if the source fails.
     pub fn alloc<S: PageSource>(&self, source: &S) -> *mut u8 {
-        if let Some(r) = unsafe { self.free.pop() } {
-            return r as *mut u8;
+        let fp = malloc_api::fail_point!("pool.carve");
+        if fp.kill {
+            return core::ptr::null_mut(); // the caller sees OOM
+        }
+        if !fp.retry {
+            // `retry` skips the free-LIFO fast path once, forcing a
+            // fresh hyperblock carve even when regions are available.
+            if let Some(r) = unsafe { self.free.pop() } {
+                return r as *mut u8;
+            }
         }
         let bytes = self.batch << SHIFT;
         let base = unsafe { source.alloc_pages(bytes, Self::REGION_SIZE) };
@@ -114,6 +122,20 @@ impl<const SHIFT: u32> PagePool<SHIFT> {
     /// Total bytes currently held from the source.
     pub fn mapped_bytes(&self) -> usize {
         self.hyperblock_count() * (self.batch << SHIFT)
+    }
+
+    /// Snapshot of the hyperblock registry as `(base, bytes)` pairs.
+    /// The registry is append-only until [`release_all`](Self::release_all),
+    /// so a concurrent call sees a valid prefix of registrations.
+    pub fn hyperblocks(&self) -> Vec<(*mut u8, usize)> {
+        let mut out = Vec::new();
+        let mut p = self.hypers.load(Ordering::Acquire);
+        while !p.is_null() {
+            let rec = unsafe { &*p };
+            out.push((rec.base, rec.bytes));
+            p = rec.next;
+        }
+        out
     }
 
     /// Returns every hyperblock to `source` and frees the registry.

@@ -216,26 +216,78 @@ mod tests {
     }
 }
 
-/// A [`PageSource`] decorator that injects allocation failures: after
-/// `budget` successful allocations, every further `alloc_pages` fails
-/// until [`refill`](FlakySource::refill). Used by fault-injection tests
-/// to drive allocators through their out-of-memory paths.
+/// A [`PageSource`] decorator that injects allocation failures
+/// according to configurable *failure plans*. Used by fault-injection
+/// tests to drive allocators through their out-of-memory paths.
+///
+/// Four plans compose — a call fails if **any** armed plan says so:
+///
+/// * **budget** (the constructor argument): after `budget` successful
+///   allocations every further call fails until
+///   [`refill`](FlakySource::refill);
+/// * **every-Nth** ([`fail_every_nth`](FlakySource::fail_every_nth)):
+///   deterministic periodic failure;
+/// * **chance** ([`fail_with_chance`](FlakySource::fail_with_chance)):
+///   probabilistic intermittent failure, drawn from a seeded splitmix64
+///   PRNG so runs replay exactly from the seed;
+/// * **outage** ([`fail_next`](FlakySource::fail_next)): the next `n`
+///   calls fail, then the source recovers on its own (one-shot
+///   recovery — no `refill` needed).
+///
+/// Frees are never blocked by any plan.
 #[derive(Debug)]
 pub struct FlakySource<S> {
     inner: S,
+    /// Successful allocations left before the budget plan kicks in
+    /// (decremented only by calls no other plan already failed).
     remaining: core::sync::atomic::AtomicIsize,
+    /// Total `alloc_pages` calls (drives the every-Nth plan).
+    calls: core::sync::atomic::AtomicU64,
+    /// Period of the every-Nth plan; 0 disables it.
+    nth: core::sync::atomic::AtomicU64,
+    /// Failure probability as `p / 65536`; 0 disables the chance plan.
+    chance: core::sync::atomic::AtomicU32,
+    /// splitmix64 state for the chance plan.
+    rng: core::sync::atomic::AtomicU64,
+    /// Pending one-shot outage failures.
+    outage: core::sync::atomic::AtomicU64,
+    /// Calls denied by any plan (diagnostics for tests).
+    denials: core::sync::atomic::AtomicU64,
 }
 
 impl<S> FlakySource<S> {
-    /// Wraps `inner`, allowing `budget` successful allocations.
+    /// Wraps `inner`, allowing `budget` successful allocations before
+    /// the budget plan starts failing (use `isize::MAX` for "never").
     pub const fn new(inner: S, budget: isize) -> Self {
-        FlakySource { inner, remaining: core::sync::atomic::AtomicIsize::new(budget) }
+        use core::sync::atomic::{AtomicIsize, AtomicU32, AtomicU64};
+        FlakySource {
+            inner,
+            remaining: AtomicIsize::new(budget),
+            calls: AtomicU64::new(0),
+            nth: AtomicU64::new(0),
+            chance: AtomicU32::new(0),
+            rng: AtomicU64::new(0),
+            outage: AtomicU64::new(0),
+            denials: AtomicU64::new(0),
+        }
     }
 
-    /// Grants `n` more successful allocations (may "revive" a source
-    /// that has been failing).
+    /// Wraps `inner` with an unlimited budget; failures come only from
+    /// plans armed later.
+    pub const fn reliable(inner: S) -> Self {
+        Self::new(inner, isize::MAX)
+    }
+
+    /// Grants `n` more successful allocations on top of any still
+    /// unconsumed (accumulated debt from past failures is forgiven, not
+    /// carried). A lost-update-free read-modify-write: concurrent
+    /// allocating threads can never erase a grant, and a racing `refill`
+    /// can never resurrect budget that was already spent.
     pub fn refill(&self, n: isize) {
-        self.remaining.store(n, core::sync::atomic::Ordering::Release);
+        use core::sync::atomic::Ordering;
+        let _ = self.remaining.fetch_update(Ordering::AcqRel, Ordering::Acquire, |old| {
+            Some(old.max(0).saturating_add(n))
+        });
     }
 
     /// Remaining successful allocations (may be negative after
@@ -243,12 +295,75 @@ impl<S> FlakySource<S> {
     pub fn remaining(&self) -> isize {
         self.remaining.load(core::sync::atomic::Ordering::Acquire)
     }
+
+    /// Arms the every-Nth plan: calls number N, 2N, 3N... (counting all
+    /// `alloc_pages` calls since construction) fail. 0 disarms.
+    pub fn fail_every_nth(&self, n: u64) {
+        self.nth.store(n, core::sync::atomic::Ordering::Release);
+    }
+
+    /// Arms the chance plan: each call fails with probability
+    /// `p / 65536`, decided by a splitmix64 stream starting at `seed`.
+    /// `p == 0` disarms.
+    pub fn fail_with_chance(&self, p: u16, seed: u64) {
+        use core::sync::atomic::Ordering;
+        self.rng.store(seed, Ordering::Release);
+        self.chance.store(p as u32, Ordering::Release);
+    }
+
+    /// Arms a one-shot outage: the next `n` calls fail, after which the
+    /// source recovers without intervention.
+    pub fn fail_next(&self, n: u64) {
+        self.outage.fetch_add(n, core::sync::atomic::Ordering::AcqRel);
+    }
+
+    /// Number of calls any plan has denied so far.
+    pub fn denials(&self) -> u64 {
+        self.denials.load(core::sync::atomic::Ordering::Acquire)
+    }
+}
+
+/// splitmix64 output for state `z` (state advance is the caller's
+/// golden-ratio `fetch_add`, so concurrent draws get distinct states).
+fn splitmix64_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 unsafe impl<S: PageSource> PageSource for FlakySource<S> {
     unsafe fn alloc_pages(&self, size: usize, align: usize) -> *mut u8 {
         use core::sync::atomic::Ordering;
-        if self.remaining.fetch_sub(1, Ordering::AcqRel) <= 0 {
+        let call = self.calls.fetch_add(1, Ordering::AcqRel) + 1;
+        let mut fail = false;
+        // One-shot outage: consume one pending failure, if any.
+        if self.outage.load(Ordering::Acquire) > 0
+            && self
+                .outage
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |o| o.checked_sub(1))
+                .is_ok()
+        {
+            fail = true;
+        }
+        let nth = self.nth.load(Ordering::Acquire);
+        if !fail && nth != 0 && call % nth == 0 {
+            fail = true;
+        }
+        let p = self.chance.load(Ordering::Acquire) as u16;
+        if !fail && p != 0 {
+            let prev = self.rng.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::AcqRel);
+            let drawn = splitmix64_mix(prev.wrapping_add(0x9E37_79B9_7F4A_7C15));
+            if ((drawn >> 48) as u16) < p {
+                fail = true;
+            }
+        }
+        // Budget is consumed only by calls no other plan already failed,
+        // so plans compose without double-charging.
+        if !fail && self.remaining.fetch_sub(1, Ordering::AcqRel) <= 0 {
+            fail = true;
+        }
+        if fail {
+            self.denials.fetch_add(1, Ordering::AcqRel);
             return core::ptr::null_mut();
         }
         unsafe { self.inner.alloc_pages(size, align) }
@@ -294,5 +409,151 @@ mod flaky_tests {
             // Frees must never be blocked by the failure mode.
             s.dealloc_pages(a, PAGE_SIZE, PAGE_SIZE);
         }
+    }
+
+    #[test]
+    fn refill_adds_to_unconsumed_budget() {
+        // The grant is a read-modify-write, not a blind store: refilling
+        // while budget remains must not discard the remainder.
+        let s = FlakySource::new(SystemSource::new(), 5);
+        unsafe {
+            let a = s.alloc_pages(PAGE_SIZE, PAGE_SIZE); // remaining: 4
+            s.refill(2); // remaining: 6, not 2
+            assert_eq!(s.remaining(), 6);
+            let mut held = vec![a];
+            for _ in 0..6 {
+                let p = s.alloc_pages(PAGE_SIZE, PAGE_SIZE);
+                assert!(!p.is_null());
+                held.push(p);
+            }
+            assert!(s.alloc_pages(PAGE_SIZE, PAGE_SIZE).is_null());
+            for p in held {
+                s.dealloc_pages(p, PAGE_SIZE, PAGE_SIZE);
+            }
+        }
+    }
+
+    #[test]
+    fn refill_forgives_debt_but_never_loses_grants() {
+        let s = FlakySource::new(SystemSource::new(), 0);
+        unsafe {
+            // Run up a debt of 3 failed calls.
+            for _ in 0..3 {
+                assert!(s.alloc_pages(PAGE_SIZE, PAGE_SIZE).is_null());
+            }
+            assert!(s.remaining() < 0);
+            s.refill(2); // debt forgiven: exactly 2 successes
+            let a = s.alloc_pages(PAGE_SIZE, PAGE_SIZE);
+            let b = s.alloc_pages(PAGE_SIZE, PAGE_SIZE);
+            assert!(!a.is_null() && !b.is_null());
+            assert!(s.alloc_pages(PAGE_SIZE, PAGE_SIZE).is_null());
+            s.dealloc_pages(a, PAGE_SIZE, PAGE_SIZE);
+            s.dealloc_pages(b, PAGE_SIZE, PAGE_SIZE);
+        }
+    }
+
+    #[test]
+    fn every_nth_plan_fails_periodically() {
+        let s = FlakySource::reliable(SystemSource::new());
+        s.fail_every_nth(3);
+        unsafe {
+            let pattern: Vec<bool> = (0..9)
+                .map(|_| {
+                    let p = s.alloc_pages(PAGE_SIZE, PAGE_SIZE);
+                    if !p.is_null() {
+                        s.dealloc_pages(p, PAGE_SIZE, PAGE_SIZE);
+                    }
+                    p.is_null()
+                })
+                .collect();
+            assert_eq!(
+                pattern,
+                [false, false, true, false, false, true, false, false, true]
+            );
+        }
+        assert_eq!(s.denials(), 3);
+    }
+
+    #[test]
+    fn chance_plan_is_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let s = FlakySource::reliable(SystemSource::new());
+            s.fail_with_chance(32768, seed);
+            (0..64)
+                .map(|_| unsafe {
+                    let p = s.alloc_pages(PAGE_SIZE, PAGE_SIZE);
+                    if !p.is_null() {
+                        s.dealloc_pages(p, PAGE_SIZE, PAGE_SIZE);
+                    }
+                    p.is_null()
+                })
+                .collect()
+        };
+        let a = run(7);
+        let b = run(7);
+        let c = run(8);
+        assert_eq!(a, b, "same seed must replay identically");
+        assert_ne!(a, c, "different seeds should differ");
+        let fails = a.iter().filter(|x| **x).count();
+        assert!(fails > 8 && fails < 56, "p=0.5 should fail roughly half: {fails}/64");
+    }
+
+    #[test]
+    fn outage_plan_recovers_on_its_own() {
+        let s = FlakySource::reliable(SystemSource::new());
+        s.fail_next(2);
+        unsafe {
+            assert!(s.alloc_pages(PAGE_SIZE, PAGE_SIZE).is_null());
+            assert!(s.alloc_pages(PAGE_SIZE, PAGE_SIZE).is_null());
+            let p = s.alloc_pages(PAGE_SIZE, PAGE_SIZE);
+            assert!(!p.is_null(), "outage must clear itself after n failures");
+            s.dealloc_pages(p, PAGE_SIZE, PAGE_SIZE);
+        }
+        assert_eq!(s.denials(), 2);
+    }
+
+    #[test]
+    fn concurrent_refill_never_loses_grants() {
+        // 4 threads each grant 100 one at a time while 4 threads consume;
+        // total successes must equal total grants plus the initial budget.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let s = Arc::new(FlakySource::new(SystemSource::new(), 0));
+        let successes = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    s.refill(1);
+                    std::thread::yield_now();
+                }
+            }));
+        }
+        for _ in 0..4 {
+            let s = Arc::clone(&s);
+            let successes = Arc::clone(&successes);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..200 {
+                    unsafe {
+                        let p = s.alloc_pages(PAGE_SIZE, PAGE_SIZE);
+                        if !p.is_null() {
+                            successes.fetch_add(1, Ordering::AcqRel);
+                            s.dealloc_pages(p, PAGE_SIZE, PAGE_SIZE);
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // `refill` forgives debt, so some grants may legally be spent
+        // covering earlier failures — but successes can never exceed
+        // grants, and the atomic RMW guarantees at least one success
+        // (blind-store refill could lose every grant).
+        let got = successes.load(Ordering::Acquire);
+        assert!(got <= 400, "more successes than grants: {got}");
+        assert!(got > 0, "all grants lost");
     }
 }

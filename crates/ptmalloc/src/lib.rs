@@ -23,7 +23,7 @@
 use dlheap::SerialHeap;
 use malloc_api::{AllocStats, RawMalloc};
 use osmem::{CountingSource, PageSource, SystemSource};
-use parking_lot::{Mutex, RwLock};
+use malloc_api::sync::{Mutex, RwLock};
 use std::cell::Cell;
 use std::sync::Arc;
 

@@ -122,3 +122,116 @@ fn concurrent_threads_progress_while_killer_rampages() {
     let kills = killer.join().unwrap();
     println!("workers completed 80k pairs alongside {kills} mid-malloc kills");
 }
+
+/// Kill sites beyond the reservation window, reachable only through the
+/// deterministic failpoint registry (`--features failpoints`): deaths
+/// inside `free` (before the free-list CAS, and between the EMPTY
+/// transition and the superblock recycle) and inside the partial-list
+/// operations (put, get, and the post-get reservation).
+#[cfg(feature = "failpoints")]
+mod failpoint_kills {
+    use super::*;
+    use malloc_api::failpoints::{self as fp, FpAction, FpTrigger};
+
+    #[test]
+    fn free_path_kills_leak_blocks_not_progress() {
+        let _guard = fp::scenario(0x1C1F);
+        fp::arm_limited("free.link", FpAction::Kill, FpTrigger::EveryNth(10), 20);
+
+        let a = LfMalloc::with_config(Config::with_heaps(1));
+        unsafe {
+            let blocks: Vec<*mut u8> = (0..2_000).map(|_| a.malloc(32)).collect();
+            for p in &blocks {
+                assert!(!p.is_null());
+            }
+            for p in blocks {
+                a.free(p); // up to 20 of these die before the CAS
+            }
+            assert_eq!(fp::fired("free.link"), 20, "kill budget not consumed");
+            // Each kill leaks exactly one 32-byte-class block; churn must
+            // proceed and reuse the rest of the superblocks normally.
+            for _ in 0..5 {
+                let again: Vec<*mut u8> = (0..2_000).map(|_| a.malloc(32)).collect();
+                for p in &again {
+                    assert!(!p.is_null(), "allocation blocked after free-path kills");
+                }
+                for p in again {
+                    a.free(p);
+                }
+            }
+            assert!(
+                a.hyperblock_count() <= 2,
+                "free-path kills must not leak whole hyperblocks"
+            );
+        }
+        let rep = a.audit();
+        assert!(rep.is_clean(), "free-path kills corrupted the heap:\n{rep}");
+    }
+
+    #[test]
+    fn partial_list_kills_leak_descriptors_not_progress() {
+        let _guard = fp::scenario(0x9A27);
+        // Deaths at every partial-list window: while publishing a
+        // partial superblock, while fetching one, and after fetching
+        // one but before reserving from it.
+        fp::arm_limited("partial.put", FpAction::Kill, FpTrigger::EveryNth(4), 6);
+        fp::arm_limited("partial.get", FpAction::Kill, FpTrigger::EveryNth(5), 6);
+        fp::arm_limited("partial.reserve", FpAction::Kill, FpTrigger::EveryNth(3), 6);
+
+        let a = LfMalloc::with_config(Config::with_heaps(1));
+        unsafe {
+            // Drive superblocks through ACTIVE -> PARTIAL -> reuse by
+            // freeing strided halves of large batches.
+            for round in 0..6 {
+                let blocks: Vec<*mut u8> = (0..3_000).map(|_| a.malloc(128)).collect();
+                for (i, p) in blocks.iter().enumerate() {
+                    assert!(!p.is_null(), "round {round}: allocation blocked");
+                    if i % 2 == 0 {
+                        a.free(*p);
+                    }
+                }
+                for (i, p) in blocks.iter().enumerate() {
+                    if i % 2 != 0 {
+                        a.free(*p);
+                    }
+                }
+            }
+        }
+        let put = fp::fired("partial.put");
+        let get = fp::fired("partial.get");
+        let reserve = fp::fired("partial.reserve");
+        assert!(
+            put + get + reserve > 0,
+            "no partial-list kill fired (put {put}, get {get}, reserve {reserve})"
+        );
+        let rep = a.audit();
+        assert!(rep.is_clean(), "partial-list kills corrupted the heap:\n{rep}");
+    }
+
+    #[test]
+    fn empty_transition_kill_strands_one_superblock() {
+        let _guard = fp::scenario(0xE391);
+        // Die exactly once, between the EMPTY anchor CAS and the
+        // superblock's return to the page pool.
+        fp::arm_limited("free.empty", FpAction::Kill, FpTrigger::Always, 1);
+
+        let a = LfMalloc::with_config(Config::with_heaps(1));
+        unsafe {
+            // 4096-byte class: 4 blocks per superblock, so one batch
+            // drains a superblock to EMPTY quickly.
+            let blocks: Vec<*mut u8> = (0..4).map(|_| a.malloc(4_000)).collect();
+            for p in blocks {
+                assert!(!p.is_null());
+                a.free(p); // the last free dies mid-recycle
+            }
+            assert_eq!(fp::fired("free.empty"), 1, "the EMPTY-path kill never fired");
+            // The superblock is stranded (legal leak), but allocation
+            // continues from fresh superblocks.
+            let p = a.malloc(4_000);
+            assert!(!p.is_null(), "allocation blocked after EMPTY-transition kill");
+            a.free(p);
+        }
+        let rep = a.audit();
+        assert!(rep.is_clean(), "EMPTY-transition kill corrupted the heap:\n{rep}");
+    }
+}
