@@ -446,4 +446,44 @@ mod tests {
             h.free(p);
         }
     }
+
+    #[test]
+    fn exhausted_source_yields_null_not_panic() {
+        use osmem::FlakySource;
+
+        // Dead source: small (segment growth) and direct (mmap) paths
+        // must both report OOM as null, never panic.
+        let dead = Arc::new(FlakySource::new(SystemSource::new(), 0));
+        let mut h = SerialHeap::new(Arc::clone(&dead));
+        unsafe {
+            assert!(h.malloc(100).is_null());
+            assert!(h.malloc(4 << 20).is_null());
+        }
+        assert!(dead.denials() >= 2);
+
+        // One segment of budget: drain it, then frees must succeed and
+        // the coalesced memory must be reusable with the source dead.
+        let tight = Arc::new(FlakySource::new(SystemSource::new(), 1));
+        let mut h = SerialHeap::new(Arc::clone(&tight));
+        let mut live = Vec::new();
+        unsafe {
+            loop {
+                let p = h.malloc(4096);
+                if p.is_null() {
+                    break;
+                }
+                live.push(p as usize);
+            }
+            assert!(!live.is_empty());
+            assert!(tight.denials() > 0);
+            for &p in &live {
+                h.free(p as *mut u8);
+            }
+            let before = tight.denials();
+            let big = h.malloc(100_000);
+            assert!(!big.is_null(), "coalesced segment must serve a big block");
+            assert_eq!(tight.denials(), before, "reuse must not touch the source");
+            h.free(big);
+        }
+    }
 }

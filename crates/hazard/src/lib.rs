@@ -73,7 +73,7 @@ fn fp(name: &'static str) {
 #[inline(always)]
 fn fp(_name: &'static str) {}
 
-use core::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use core::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use record::Record;
 use sysvec::SysVec;
 
@@ -125,6 +125,10 @@ pub struct HazardDomain {
     id: u64,
     /// Head of the append-only list of records (never shrinks until drop).
     head: AtomicPtr<Record>,
+    /// Nodes intentionally leaked because the retired list could not
+    /// grow *and* the node was still hazard-protected (see `retire`).
+    /// Bounded by memory-pressure incidents, not by workload size.
+    leaked: AtomicUsize,
 }
 
 unsafe impl Send for HazardDomain {}
@@ -142,6 +146,7 @@ impl HazardDomain {
         HazardDomain {
             id: NEXT_DOMAIN_ID.fetch_add(1, Ordering::Relaxed),
             head: AtomicPtr::new(core::ptr::null_mut()),
+            leaked: AtomicUsize::new(0),
         }
     }
 
@@ -203,12 +208,34 @@ impl HazardDomain {
     ///   domain, so no *new* protections of it can be created.
     /// * `reclaim` must be safe to call with (`ctx`, `ptr`) at any later
     ///   time on any thread, including during domain drop.
+    /// Additionally, `retire` never aborts: if the retired list cannot
+    /// grow (system allocator exhausted), the node is either reclaimed
+    /// inline — legal exactly when no hazard slot holds it, the same
+    /// condition `scan` checks after the node is already detached — or,
+    /// if still protected, intentionally leaked and counted in
+    /// [`leaked_count`](Self::leaked_count).
     pub unsafe fn retire(&self, ptr: *mut u8, ctx: *mut u8, reclaim: unsafe fn(*mut u8, *mut u8)) {
         fp("hazard.retire");
         self.with_record(|rec| {
-            let len = rec.push_retired(Retired { ptr, ctx, reclaim });
-            if len >= SCAN_THRESHOLD {
-                self.scan(rec);
+            let node = Retired { ptr, ctx, reclaim };
+            match rec.push_retired(node) {
+                Some(len) => {
+                    if len >= SCAN_THRESHOLD {
+                        self.scan(rec);
+                    }
+                }
+                None => {
+                    // The retired list is full and cannot grow. Shed
+                    // unprotected nodes, then retry once.
+                    self.scan(rec);
+                    if rec.push_retired(node).is_none() {
+                        if self.is_protected(ptr) {
+                            self.leaked.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            unsafe { (reclaim)(ctx, ptr) };
+                        }
+                    }
+                }
             }
         });
     }
@@ -217,7 +244,45 @@ impl HazardDomain {
     ///
     /// Nodes still protected by some hazard stay retired.
     pub fn flush(&self) {
-        self.with_record(|rec| self.scan(rec));
+        self.with_record(|rec| {
+            self.scan(rec);
+        });
+    }
+
+    /// Scans *every* record's retired list, not just the calling
+    /// thread's. Nodes still protected by some hazard stay retired.
+    ///
+    /// # Safety
+    ///
+    /// Requires quiescence: no other thread may be inside any operation
+    /// on this domain (retired lists are single-owner; this walks all of
+    /// them). Intended for trim/teardown-style maintenance.
+    pub unsafe fn flush_all(&self) {
+        let mut p = self.head.load(Ordering::Acquire);
+        while !p.is_null() {
+            let rec = unsafe { &*p };
+            self.scan(rec);
+            p = rec.next;
+        }
+    }
+
+    /// Nodes abandoned (leaked) because memory pressure prevented both
+    /// retiring and inline reclamation. Always safe, ideally zero.
+    pub fn leaked_count(&self) -> usize {
+        self.leaked.load(Ordering::Relaxed)
+    }
+
+    /// True if any record's hazard slot currently publishes `ptr`.
+    fn is_protected(&self, ptr: *mut u8) -> bool {
+        let mut p = self.head.load(Ordering::Acquire);
+        while !p.is_null() {
+            let rec = unsafe { &*p };
+            if rec.hazards.iter().any(|h| h.load(Ordering::SeqCst) == ptr) {
+                return true;
+            }
+            p = rec.next;
+        }
+        false
     }
 
     /// Number of records ever created in this domain (diagnostics).
@@ -260,8 +325,11 @@ impl HazardDomain {
     }
 
     /// Partitions `rec`'s retired list against the union of all hazard
-    /// slots; reclaims the unprotected ones.
-    fn scan(&self, rec: &Record) {
+    /// slots; reclaims the unprotected ones. Returns `false` if the scan
+    /// had to abort because its own bookkeeping could not allocate (the
+    /// retired list is then left intact — reclaiming against an
+    /// incomplete hazard snapshot would be unsound).
+    fn scan(&self, rec: &Record) -> bool {
         fp("hazard.scan");
         // Stage 1: snapshot all published hazards.
         let mut hazards: SysVec<usize> = SysVec::new();
@@ -270,8 +338,8 @@ impl HazardDomain {
             let r = unsafe { &*p };
             for h in &r.hazards {
                 let v = h.load(Ordering::SeqCst) as usize;
-                if v != 0 {
-                    hazards.push(v);
+                if v != 0 && !hazards.try_push(v) {
+                    return false;
                 }
             }
             p = r.next;
@@ -282,12 +350,26 @@ impl HazardDomain {
         let mut kept: SysVec<Retired> = SysVec::new();
         while let Some(node) = retired.pop() {
             if hazards.binary_search(&(node.ptr as usize)) {
-                kept.push(node);
+                if !kept.try_push(node) {
+                    // Can't track it separately; stop scanning. The node
+                    // goes straight back into `retired`, whose capacity
+                    // it just vacated.
+                    let ok = retired.try_push(node);
+                    debug_assert!(ok, "pop retains capacity");
+                    break;
+                }
             } else {
                 unsafe { (node.reclaim)(node.ctx, node.ptr) };
             }
         }
-        rec.put_retired(kept);
+        // Merge survivors back. Every kept node came out of `retired`,
+        // so its buffer has room for all of them.
+        while let Some(node) = kept.pop() {
+            let ok = retired.try_push(node);
+            debug_assert!(ok, "pop retains capacity");
+        }
+        rec.put_retired(retired);
+        true
     }
 
     pub(crate) fn domain_id(&self) -> u64 {
@@ -398,6 +480,32 @@ mod tests {
         d2.set(Slot(0), 0x20 as *mut u8);
         d2.clear(Slot(0));
         assert_eq!(d2.record_count(), 1);
+    }
+
+    #[test]
+    fn flush_all_scans_every_records_retired_list() {
+        let d = HazardDomain::new();
+        let before = RECLAIMED.load(Ordering::SeqCst);
+        // Retire below the scan threshold from two threads → two records,
+        // each holding unreclaimed nodes.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..5 {
+                    let n = Box::into_raw(Box::new(0u64));
+                    unsafe { d.retire(n as *mut u8, core::ptr::null_mut(), count_reclaim) };
+                }
+            });
+        });
+        for _ in 0..5 {
+            let n = Box::into_raw(Box::new(0u64));
+            unsafe { d.retire(n as *mut u8, core::ptr::null_mut(), count_reclaim) };
+        }
+        // flush() only reaches the calling thread's record; flush_all
+        // must drain the other thread's too.
+        unsafe { d.flush_all() };
+        assert!(RECLAIMED.load(Ordering::SeqCst) >= before + 10);
+        assert_eq!(d.retired_count(), 0);
+        assert_eq!(d.leaked_count(), 0, "no pressure, no leaks");
     }
 
     #[test]

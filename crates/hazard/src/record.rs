@@ -54,11 +54,15 @@ impl Record {
     }
 
     /// Appends one retired node and reports the new length (owner only).
-    pub fn push_retired(&self, r: Retired) -> usize {
+    /// `None` means the retired list could not grow and `r` was *not*
+    /// stored — the caller must dispose of it another way.
+    pub fn push_retired(&self, r: Retired) -> Option<usize> {
         unsafe {
             let v = &mut *self.retired.get();
-            v.push(r);
-            v.len()
+            if !v.try_push(r) {
+                return None;
+            }
+            Some(v.len())
         }
     }
 

@@ -43,12 +43,27 @@ impl<T: Copy> SysVec<T> {
     }
 
     /// Appends `value`, growing geometrically when full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system allocator cannot supply the grown buffer.
+    /// Callers that must stay alive under memory pressure (the hazard
+    /// retirement path) use [`try_push`](Self::try_push) instead.
     pub fn push(&mut self, value: T) {
-        if self.len == self.cap {
-            self.grow();
+        assert!(self.try_push(value), "SysVec: system allocation failed");
+    }
+
+    /// Appends `value` if capacity exists or can be grown; returns
+    /// `false` (leaving the vector unchanged) when the system allocator
+    /// refuses to grow the buffer.
+    #[must_use]
+    pub fn try_push(&mut self, value: T) -> bool {
+        if self.len == self.cap && !self.try_grow() {
+            return false;
         }
         unsafe { self.ptr.add(self.len).write(value) };
         self.len += 1;
+        true
     }
 
     /// Removes and returns the last element.
@@ -92,9 +107,13 @@ impl<T: Copy> SysVec<T> {
         }
     }
 
-    fn grow(&mut self) {
+    /// Doubles capacity; `false` means the buffer is unchanged and still
+    /// valid (a failed `System.realloc` leaves the old allocation live).
+    fn try_grow(&mut self) -> bool {
         let new_cap = if self.cap == 0 { 16 } else { self.cap * 2 };
-        let new_layout = Layout::array::<T>(new_cap).expect("SysVec capacity overflow");
+        let Ok(new_layout) = Layout::array::<T>(new_cap) else {
+            return false; // capacity overflow: treat as exhaustion
+        };
         let new_ptr = unsafe {
             if self.cap == 0 {
                 System.alloc(new_layout)
@@ -103,9 +122,12 @@ impl<T: Copy> SysVec<T> {
                 System.realloc(self.ptr as *mut u8, old_layout, new_layout.size())
             }
         } as *mut T;
-        assert!(!new_ptr.is_null(), "SysVec: system allocation failed");
+        if new_ptr.is_null() {
+            return false;
+        }
         self.ptr = new_ptr;
         self.cap = new_cap;
+        true
     }
 }
 
@@ -190,5 +212,26 @@ mod tests {
     fn empty_slice_is_empty() {
         let v: SysVec<u8> = SysVec::new();
         assert_eq!(v.as_slice(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn try_push_reports_success() {
+        let mut v: SysVec<usize> = SysVec::new();
+        for i in 0..1_000 {
+            assert!(v.try_push(i), "system allocator should satisfy small growth");
+        }
+        assert_eq!(v.len(), 1_000);
+    }
+
+    #[test]
+    fn failed_growth_preserves_existing_elements() {
+        // try_grow leaves the old buffer valid on failure (System.realloc
+        // contract); with a healthy allocator we can only check the
+        // success side of that contract: contents survive every growth.
+        let mut v: SysVec<u64> = SysVec::new();
+        for i in 0..100u64 {
+            assert!(v.try_push(i));
+        }
+        assert_eq!(v.as_slice(), (0..100u64).collect::<Vec<_>>().as_slice());
     }
 }

@@ -142,7 +142,14 @@ impl<S: PageSource + Send + Sync> Hoard<S> {
             }
         };
         unsafe {
-            let block = (*sb).pop_block().expect("usable superblock must have a free block");
+            // A usable superblock always has a free block under the
+            // fullness invariants, but if bookkeeping is ever wrong under
+            // pressure, degrade to an OOM null rather than aborting the
+            // process mid-lock.
+            let Some(block) = (*sb).pop_block() else {
+                heap.refile(sb);
+                return core::ptr::null_mut();
+            };
             heap.u += sz;
             heap.refile(sb);
             block
@@ -365,6 +372,42 @@ mod tests {
             peak_after_phase2 < peak_after_phase1 * 2,
             "no reuse across heaps: {peak_after_phase1} -> {peak_after_phase2}"
         );
+    }
+
+    #[test]
+    fn exhausted_source_yields_null_not_panic() {
+        use osmem::FlakySource;
+        // Budget 0: every page-source call fails from the start.
+        let dead = Arc::new(FlakySource::new(SystemSource::new(), 0));
+        let a = Hoard::with_source(2, Arc::clone(&dead));
+        unsafe {
+            assert!(a.malloc(16).is_null(), "small path must report OOM");
+            assert!(a.malloc(100_000).is_null(), "direct path must report OOM");
+        }
+        assert!(dead.denials() >= 2);
+
+        // Budget 1: one superblock's worth of small blocks succeeds,
+        // then the allocator degrades to nulls while frees keep working.
+        let tight = Arc::new(FlakySource::new(SystemSource::new(), 1));
+        let a = Hoard::with_source(1, Arc::clone(&tight));
+        unsafe {
+            let mut got = Vec::new();
+            loop {
+                let p = a.malloc(64);
+                if p.is_null() {
+                    break;
+                }
+                got.push(p);
+            }
+            assert!(!got.is_empty(), "the budgeted superblock must be carved");
+            for p in got {
+                a.free(p); // no panic, accounting stays consistent
+            }
+            // Freed capacity is reusable without new OS calls.
+            let p = a.malloc(64);
+            assert!(!p.is_null());
+            a.free(p);
+        }
     }
 
     #[test]

@@ -327,12 +327,18 @@ unsafe fn malloc_from_partial<S: PageSource>(
 unsafe fn malloc_from_new_sb<S: PageSource>(inner: &Inner<S>, heap: &ProcHeap) -> NewSb {
     let ci = heap.class();
     let sz = inner.classes[ci].sz as usize;
-    let desc_ptr = unsafe { inner.desc_pool.alloc(&inner.domain, &inner.source) }; // line 1
+    let retries = inner.config.oom_retries;
+    // line 1, with bounded backoff: a transient source outage (or a
+    // momentarily drained reserve) should not surface as spurious OOM.
+    let desc_ptr = crate::retry::with_backoff(retries, || {
+        unsafe { inner.desc_pool.alloc(&inner.domain, &inner.source) as *mut u8 }
+    }) as *mut Descriptor;
     if desc_ptr.is_null() {
         return NewSb::Done(None); // OS exhausted
     }
     let desc = unsafe { &*desc_ptr };
-    let sb = inner.sb_pool.alloc(&inner.source); // line 2
+    // line 2, same retry policy.
+    let sb = crate::retry::with_backoff(retries, || inner.sb_pool.alloc(&inner.source));
     if sb.is_null() {
         unsafe { inner.desc_pool.retire(&inner.domain, desc_ptr) };
         return NewSb::Done(None);

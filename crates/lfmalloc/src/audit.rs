@@ -164,7 +164,10 @@ fn audit_inner<S: PageSource>(inner: &Inner<S>) -> AuditReport {
     // -- Descriptor universe: every slab slot, and the free subset. ----
     let all = inner.desc_pool.all_descriptors();
     let all_set: HashSet<usize> = all.iter().map(|d| *d as usize).collect();
-    let free = unsafe { inner.desc_pool.free_descriptors() };
+    // The free universe is DescAvail plus the emergency reserve — both
+    // hold descriptors that are linked into no allocator structure.
+    let mut free = unsafe { inner.desc_pool.free_descriptors() };
+    free.extend(unsafe { inner.desc_pool.reserve_descriptors() });
     let mut free_set: HashSet<usize> = HashSet::new();
     for d in &free {
         let a = *d as usize;

@@ -25,6 +25,11 @@ pub const MAX_CREDITS: u32 = 1 << DESC_ALIGN_SHIFT;
 /// marker). "Each block includes an 8 byte prefix (overhead)."
 pub const PREFIX_SIZE: usize = 8;
 
+/// Default [`Config::oom_retries`]: enough attempts that a brief OS
+/// outage (a handful of failed `mmap`s while the kernel reclaims) is
+/// ridden out by backoff instead of surfacing as a spurious null.
+pub const DEFAULT_OOM_RETRIES: u32 = 8;
+
 /// How threads map to processor heaps.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum HeapMode {
@@ -77,6 +82,10 @@ pub struct Config {
     /// alignment; the A2 ablation sweeps it to show what credit
     /// batching buys.
     pub max_credits: u32,
+    /// Bounded retries (with exponential backoff) when the page source
+    /// reports transient failure on the superblock-carve and large-
+    /// allocation paths. 0 makes every source failure an immediate OOM.
+    pub oom_retries: u32,
 }
 
 impl Config {
@@ -90,6 +99,7 @@ impl Config {
             heap_mode: HeapMode::PerCpu(cpus),
             partial_mode: PartialMode::Fifo,
             max_credits: MAX_CREDITS,
+            oom_retries: DEFAULT_OOM_RETRIES,
         }
     }
 
@@ -101,6 +111,7 @@ impl Config {
             heap_mode: HeapMode::PerCpu(n),
             partial_mode: PartialMode::Fifo,
             max_credits: MAX_CREDITS,
+            oom_retries: DEFAULT_OOM_RETRIES,
         }
     }
 
@@ -110,12 +121,18 @@ impl Config {
             heap_mode: HeapMode::Single,
             partial_mode: PartialMode::Fifo,
             max_credits: MAX_CREDITS,
+            oom_retries: DEFAULT_OOM_RETRIES,
         }
     }
 
     /// Clamped credit cap for the A2 ablation.
     pub fn with_max_credits(self, n: u32) -> Self {
         Config { max_credits: n.clamp(1, MAX_CREDITS), ..self }
+    }
+
+    /// Retry budget for transient page-source failure.
+    pub const fn with_oom_retries(self, n: u32) -> Self {
+        Config { oom_retries: n, ..self }
     }
 }
 
@@ -149,5 +166,12 @@ mod tests {
         let c = Config::detect();
         assert!(c.heap_mode.heap_count() >= 1);
         assert_eq!(c.partial_mode, PartialMode::Fifo);
+    }
+
+    #[test]
+    fn oom_retries_default_and_override() {
+        assert_eq!(Config::detect().oom_retries, DEFAULT_OOM_RETRIES);
+        assert_eq!(Config::with_heaps(2).oom_retries, DEFAULT_OOM_RETRIES);
+        assert_eq!(Config::uniprocessor().with_oom_retries(0).oom_retries, 0);
     }
 }

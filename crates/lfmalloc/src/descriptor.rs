@@ -24,7 +24,7 @@
 use crate::anchor::Anchor;
 use crate::config::SB_SHIFT;
 use crate::heap::ProcHeap;
-use core::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+use core::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use hazard::{HazardDomain, Slot};
 use lockfree_structs::{HpStack, Intrusive};
 use osmem::{PagePool, PageSource};
@@ -146,11 +146,29 @@ impl Descriptor {
 /// Descriptors per 16 KiB descriptor superblock.
 pub const DESC_PER_SLAB: usize = (1 << SB_SHIFT) / core::mem::size_of::<Descriptor>();
 
+/// Size of the emergency descriptor reserve (see [`DescriptorPool`]).
+///
+/// `free()` never allocates a descriptor, but EMPTY-transition
+/// processing and partial-list maintenance retire and re-acquire them;
+/// 64 descriptors (one quarter slab, 4 KiB) comfortably covers every
+/// in-flight descriptor need of a burst of threads while user memory is
+/// exhausted.
+pub const DESC_RESERVE_TARGET: usize = 64;
+
 /// The descriptor allocation pool: `DescAvail` plus slab refill
 /// (Figure 7's `DescAlloc`/`DescRetire`).
 #[derive(Debug)]
 pub struct DescriptorPool {
     avail: HpStack<Descriptor>,
+    /// Emergency reserve, consulted only when both `avail` and the slab
+    /// refill path come up empty. Topped back up opportunistically from
+    /// fresh slabs and from retired descriptors, so descriptor
+    /// allocation keeps succeeding during an OS outage.
+    reserve: HpStack<Descriptor>,
+    /// Approximate occupancy of `reserve` (monotone counters around the
+    /// pushes/pops; small transient undercounts are harmless — they only
+    /// bias a descriptor toward the reserve).
+    reserve_len: AtomicUsize,
     /// Descriptor superblocks; never released until instance teardown.
     slabs: PagePool<SB_SHIFT>,
 }
@@ -158,7 +176,12 @@ pub struct DescriptorPool {
 impl DescriptorPool {
     /// Creates an empty pool.
     pub const fn new() -> Self {
-        DescriptorPool { avail: HpStack::new(), slabs: PagePool::new(1) }
+        DescriptorPool {
+            avail: HpStack::new(),
+            reserve: HpStack::new(),
+            reserve_len: AtomicUsize::new(0),
+            slabs: PagePool::new(1),
+        }
     }
 
     /// `DescAlloc`: pops an available descriptor, refilling from a fresh
@@ -191,16 +214,30 @@ impl DescriptorPool {
         }
         let slab = self.slabs.alloc(source);
         if slab.is_null() {
-            // OS exhausted; one more look at the free list.
-            return unsafe { self.avail.pop(domain, SLOT_DESC) }
-                .unwrap_or(core::ptr::null_mut());
+            // OS exhausted; one more look at the free list, then the
+            // emergency reserve — this is the path that keeps EMPTY-
+            // transition processing alive while user memory is gone.
+            if let Some(d) = unsafe { self.avail.pop(domain, SLOT_DESC) } {
+                return d;
+            }
+            if let Some(d) = unsafe { self.reserve.pop(domain, SLOT_DESC) } {
+                self.reserve_len.fetch_sub(1, Ordering::Relaxed);
+                return d;
+            }
+            return core::ptr::null_mut();
         }
         // The slab arrives zeroed (mmap semantics): all-zero bytes are a
-        // valid Descriptor (null pointers, zero anchor).
+        // valid Descriptor (null pointers, zero anchor). Top up the
+        // emergency reserve first, then feed `DescAvail`.
         let descs = slab as *mut Descriptor;
         for i in 1..DESC_PER_SLAB {
             // Fresh descriptors were never popped; direct push is safe.
-            unsafe { self.avail.push(descs.add(i)) };
+            if self.reserve_len.load(Ordering::Relaxed) < DESC_RESERVE_TARGET {
+                unsafe { self.reserve.push(descs.add(i)) };
+                self.reserve_len.fetch_add(1, Ordering::Relaxed);
+            } else {
+                unsafe { self.avail.push(descs.add(i)) };
+            }
         }
         descs
     }
@@ -219,7 +256,14 @@ impl DescriptorPool {
         }
         unsafe fn reclaim(ctx: *mut u8, ptr: *mut u8) {
             let pool = unsafe { &*(ctx as *const DescriptorPool) };
-            unsafe { pool.avail.push(ptr as *mut Descriptor) };
+            // Refill the emergency reserve before the general free list,
+            // so an outage-depleted reserve recovers as load continues.
+            if pool.reserve_len.load(Ordering::Relaxed) < DESC_RESERVE_TARGET {
+                unsafe { pool.reserve.push(ptr as *mut Descriptor) };
+                pool.reserve_len.fetch_add(1, Ordering::Relaxed);
+            } else {
+                unsafe { pool.avail.push(ptr as *mut Descriptor) };
+            }
         }
         unsafe { domain.retire(desc as *mut u8, self as *const _ as *mut u8, reclaim) };
     }
@@ -257,6 +301,68 @@ impl DescriptorPool {
     /// Requires quiescence: no concurrent `alloc`/`retire`.
     pub unsafe fn free_descriptors(&self) -> Vec<*mut Descriptor> {
         unsafe { self.avail.snapshot() }
+    }
+
+    /// Descriptors currently parked in the emergency reserve.
+    ///
+    /// # Safety
+    ///
+    /// Requires quiescence: no concurrent `alloc`/`retire`.
+    pub unsafe fn reserve_descriptors(&self) -> Vec<*mut Descriptor> {
+        unsafe { self.reserve.snapshot() }
+    }
+
+    /// Approximate emergency-reserve occupancy (diagnostics).
+    pub fn reserve_len(&self) -> usize {
+        self.reserve_len.load(Ordering::Relaxed)
+    }
+
+    /// Unmaps descriptor slabs whose 256 slots are all free, returning
+    /// the bytes released. Surviving free descriptors are re-stacked
+    /// reserve-first so the emergency reserve stays topped up.
+    ///
+    /// # Safety
+    ///
+    /// Requires quiescence: no concurrent operation on this pool or its
+    /// hazard `domain` (retired descriptors must already be flushed back
+    /// — call `HazardDomain::flush_all` first), and `source` must be the
+    /// pool's page source.
+    pub unsafe fn trim<S: PageSource>(&self, domain: &HazardDomain, source: &S) -> usize {
+        // Drain both free stacks. Under quiescence pop cannot ABA, and
+        // every popped descriptor re-enters only by the direct pushes
+        // below (fresh-push discipline holds: no concurrent pops exist).
+        let mut free: Vec<*mut Descriptor> = Vec::new();
+        while let Some(d) = unsafe { self.avail.pop(domain, SLOT_DESC) } {
+            free.push(d);
+        }
+        while let Some(d) = unsafe { self.reserve.pop(domain, SLOT_DESC) } {
+            free.push(d);
+        }
+        self.reserve_len.store(0, Ordering::Relaxed);
+        // A slab is a trim victim iff every one of its slots is free.
+        let mut victims: Vec<(usize, usize)> = Vec::new();
+        for (base, bytes) in self.slabs.hyperblocks() {
+            let (base, n) = (base as usize, bytes / core::mem::size_of::<Descriptor>());
+            let free_here =
+                free.iter().filter(|&&d| (d as usize) >= base && (d as usize) < base + bytes).count();
+            if free_here == n {
+                victims.push((base, bytes));
+            }
+        }
+        for &(base, bytes) in &victims {
+            free.retain(|&d| (d as usize) < base || (d as usize) >= base + bytes);
+            unsafe { self.slabs.dealloc(base as *mut u8) };
+        }
+        // Re-stack survivors, reserve first.
+        for d in free {
+            if self.reserve_len.load(Ordering::Relaxed) < DESC_RESERVE_TARGET {
+                unsafe { self.reserve.push(d) };
+                self.reserve_len.fetch_add(1, Ordering::Relaxed);
+            } else {
+                unsafe { self.avail.push(d) };
+            }
+        }
+        unsafe { self.slabs.trim(source) }
     }
 
     /// Releases all descriptor slabs.
@@ -341,6 +447,74 @@ mod tests {
         }
         drop(domain);
         unsafe { pool.release_all(&src) };
+    }
+
+    #[test]
+    fn reserve_keeps_alloc_alive_when_source_is_dead() {
+        use osmem::FlakySource;
+        let src = FlakySource::new(SystemSource::new(), 1);
+        let domain = HazardDomain::new();
+        let pool = Box::new(DescriptorPool::new());
+        unsafe {
+            // First slab succeeds and seeds the reserve.
+            let d = pool.alloc(&domain, &src);
+            assert!(!d.is_null());
+            assert_eq!(pool.reserve_len(), DESC_RESERVE_TARGET);
+            // Exhaust DescAvail (255 fresh minus 64 reserved minus the
+            // one handed out = 191 left), with the source now dead.
+            for _ in 0..(DESC_PER_SLAB - 1 - DESC_RESERVE_TARGET) {
+                assert!(!pool.alloc(&domain, &src).is_null());
+            }
+            // The reserve now carries allocation through the outage.
+            for i in 0..DESC_RESERVE_TARGET {
+                assert!(!pool.alloc(&domain, &src).is_null(), "reserve pop {i} failed");
+            }
+            assert_eq!(pool.reserve_len(), 0);
+            assert!(pool.alloc(&domain, &src).is_null(), "everything truly exhausted");
+            assert!(src.denials() > 0);
+            // Retired descriptors refill the reserve first.
+            pool.retire(&domain, d);
+            domain.flush();
+            assert_eq!(pool.reserve_len(), 1);
+            assert!(!pool.alloc(&domain, &src).is_null());
+        }
+        drop(domain);
+        unsafe { pool.release_all(&src) };
+    }
+
+    #[test]
+    fn trim_releases_fully_free_slabs_and_restacks_reserve_first() {
+        use osmem::{CountingSource, SystemSource};
+        let src = CountingSource::new(SystemSource::new());
+        let domain = HazardDomain::new();
+        let pool = Box::new(DescriptorPool::new());
+        unsafe {
+            // Two slabs: hold one descriptor from the first slab live.
+            let _held = pool.alloc(&domain, &src);
+            let mut handed = Vec::new();
+            for _ in 0..DESC_PER_SLAB {
+                let d = pool.alloc(&domain, &src);
+                assert!(!d.is_null());
+                handed.push(d);
+            }
+            assert_eq!(pool.slab_count(), 2);
+            // Retire everything except `held`, flush, then trim: the
+            // second slab becomes fully free and is unmapped; the first
+            // survives because of `held`.
+            for d in handed {
+                pool.retire(&domain, d);
+            }
+            domain.flush_all();
+            let released = pool.trim(&domain, &src);
+            assert_eq!(released, 1 << SB_SHIFT, "one slab released");
+            assert_eq!(pool.slab_count(), 1);
+            assert_eq!(pool.reserve_len(), DESC_RESERVE_TARGET, "reserve re-topped");
+            // Pool still functions.
+            assert!(!pool.alloc(&domain, &src).is_null());
+        }
+        drop(domain);
+        unsafe { pool.release_all(&src) };
+        assert_eq!(src.stats().live_bytes, 0);
     }
 
     #[test]

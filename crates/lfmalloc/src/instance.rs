@@ -11,6 +11,8 @@
 //! Nothing in the malloc/free paths allocates through the Rust global
 //! allocator, so an `LfMalloc` can *be* the global allocator.
 
+use crate::active::Active;
+use crate::anchor::SbState;
 use crate::config::{Config, PREFIX_SIZE, SB_BATCH, SB_SHIFT};
 use crate::descriptor::DescriptorPool;
 use crate::heap::{heap_index, ProcHeap};
@@ -100,6 +102,19 @@ pub struct LfMalloc<S: PageSource = SystemSource> {
 unsafe impl<S: PageSource + Send + Sync> Send for LfMalloc<S> {}
 unsafe impl<S: PageSource + Send + Sync> Sync for LfMalloc<S> {}
 
+/// Construction failed because the system allocator could not supply
+/// the instance's fixed metadata (heap table + state block).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutOfMemory;
+
+impl core::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("lfmalloc: out of memory constructing instance")
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
 impl LfMalloc<SystemSource> {
     /// Paper-shaped defaults: per-CPU heaps, FIFO partial lists, system
     /// page source.
@@ -107,21 +122,49 @@ impl LfMalloc<SystemSource> {
         Self::with_config(Config::detect())
     }
 
+    /// Fallible [`new_default`](Self::new_default).
+    pub fn try_new_default() -> Result<Self, OutOfMemory> {
+        Self::try_with_config(Config::detect())
+    }
+
     /// Custom configuration over the system page source.
     pub fn with_config(config: Config) -> Self {
         Self::with_config_and_source(config, SystemSource::new())
+    }
+
+    /// Fallible [`with_config`](Self::with_config).
+    pub fn try_with_config(config: Config) -> Result<Self, OutOfMemory> {
+        Self::try_with_config_and_source(config, SystemSource::new())
     }
 }
 
 impl<S: PageSource> LfMalloc<S> {
     /// Builds an instance over an injected page source (e.g. a counting
     /// source for the §4.2.5 space experiment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system allocator cannot supply the instance
+    /// metadata; use
+    /// [`try_with_config_and_source`](Self::try_with_config_and_source)
+    /// to propagate that as an error instead.
     pub fn with_config_and_source(config: Config, source: S) -> Self {
+        Self::try_with_config_and_source(config, source)
+            .expect("lfmalloc: instance allocation failed")
+    }
+
+    /// Fallible construction: `Err(OutOfMemory)` (with nothing leaked)
+    /// when the system allocator cannot supply the heap table or the
+    /// instance state block.
+    pub fn try_with_config_and_source(config: Config, source: S) -> Result<Self, OutOfMemory> {
         let nheaps = config.heap_mode.heap_count();
         unsafe {
-            let heaps_layout = Layout::array::<ProcHeap>(NUM_CLASSES * nheaps).unwrap();
+            let heaps_layout = Layout::array::<ProcHeap>(NUM_CLASSES * nheaps)
+                .map_err(|_| OutOfMemory)?;
             let heaps = System.alloc(heaps_layout) as *mut ProcHeap;
-            assert!(!heaps.is_null(), "lfmalloc: heap table allocation failed");
+            if heaps.is_null() {
+                return Err(OutOfMemory);
+            }
             for ci in 0..NUM_CLASSES {
                 for h in 0..nheaps {
                     heaps.add(ci * nheaps + h).write(ProcHeap::new(ci));
@@ -129,7 +172,10 @@ impl<S: PageSource> LfMalloc<S> {
             }
             let inner_layout = Layout::new::<Inner<S>>();
             let inner = System.alloc(inner_layout) as *mut Inner<S>;
-            assert!(!inner.is_null(), "lfmalloc: instance allocation failed");
+            if inner.is_null() {
+                System.dealloc(heaps as *mut u8, heaps_layout);
+                return Err(OutOfMemory);
+            }
             inner.write(Inner {
                 domain: HazardDomain::new(),
                 desc_pool: DescriptorPool::new(),
@@ -150,7 +196,7 @@ impl<S: PageSource> LfMalloc<S> {
             for class in &(*inner).classes {
                 class.partial.init(&(*inner).domain);
             }
-            LfMalloc { inner: NonNull::new_unchecked(inner) }
+            Ok(LfMalloc { inner: NonNull::new_unchecked(inner) })
         }
     }
 
@@ -175,6 +221,116 @@ impl<S: PageSource> LfMalloc<S> {
     /// Number of superblock hyperblocks mapped (diagnostics).
     pub fn hyperblock_count(&self) -> usize {
         self.inner().sb_pool.hyperblock_count()
+    }
+
+    /// Approximate occupancy of the emergency descriptor reserve
+    /// (diagnostics; see `DescriptorPool`).
+    pub fn descriptor_reserve_len(&self) -> usize {
+        self.inner().desc_pool.reserve_len()
+    }
+
+    /// Returns all reclaimable memory to the OS: uninstalls idle active
+    /// superblocks, prunes empty descriptors out of the partial
+    /// structures, flushes the hazard domain, then unmaps every fully
+    /// free hyperblock and descriptor slab. Returns bytes released.
+    ///
+    /// # Safety
+    ///
+    /// Requires quiescence: no concurrent `malloc`/`free`/`trim` on this
+    /// instance. (The instance stays fully usable afterwards.)
+    pub unsafe fn trim(&self) -> usize {
+        unsafe { self.trim_to(0) }
+    }
+
+    /// Like [`trim`](Self::trim) but leaves up to `target_bytes` of
+    /// superblock hyperblocks cached for reuse (a low watermark;
+    /// descriptor slabs, a tiny fraction, are always fully trimmed).
+    ///
+    /// # Safety
+    ///
+    /// Same quiescence contract as [`trim`](Self::trim).
+    pub unsafe fn trim_to(&self, target_bytes: usize) -> usize {
+        let inner = self.inner();
+        // 1. Uninstall every idle active superblock. An installed ACTIVE
+        //    superblock's Active word pins credits+1 reserved blocks, so
+        //    a drained (class, heap) pair otherwise holds its hyperblock
+        //    forever (free() never EMPTIES an installed superblock).
+        for ci in 0..NUM_CLASSES {
+            for h in 0..inner.nheaps {
+                let heap = unsafe { &*inner.heaps.add(ci * inner.nheaps + h) };
+                let active = heap.load_active();
+                if active.is_null() || heap.cas_active(active, Active::null()).is_err() {
+                    continue;
+                }
+                let desc_ptr = active.desc() as *mut crate::descriptor::Descriptor;
+                let desc = unsafe { &*desc_ptr };
+                let credits = active.credits();
+                let maxcount = desc.maxcount();
+                // Return the credits+1 reserved blocks to the anchor.
+                loop {
+                    let old = desc.load_anchor();
+                    if old.count() + credits + 1 == maxcount {
+                        // No user blocks outstanding: the superblock is
+                        // fully free — EMPTY (count stays maxcount-1, as
+                        // in free()'s EMPTY transition) and recycled.
+                        let new =
+                            old.with_count(maxcount - 1).with_state(SbState::Empty);
+                        if desc.cas_anchor(old, new).is_ok() {
+                            unsafe {
+                                inner.sb_pool.dealloc(desc.sb());
+                                inner.desc_pool.retire(&inner.domain, desc_ptr);
+                            }
+                            break;
+                        }
+                    } else {
+                        // Live blocks remain: park it as PARTIAL, same
+                        // as UpdateActive's lost-race path.
+                        let new = old
+                            .with_count(old.count() + credits + 1)
+                            .with_state(SbState::Partial);
+                        if desc.cas_anchor(old, new).is_ok() {
+                            unsafe { crate::alloc::heap_put_partial(inner, desc_ptr) };
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // 2. Prune EMPTY descriptors out of the heap partial slots and
+        //    the class partial lists (free() retires most of them, but
+        //    ListRemoveEmptyDesc stops at the first non-empty head, so
+        //    stragglers can sit behind it).
+        for ci in 0..NUM_CLASSES {
+            for h in 0..inner.nheaps {
+                let heap = unsafe { &*inner.heaps.add(ci * inner.nheaps + h) };
+                let desc = heap.load_partial();
+                if !desc.is_null()
+                    && unsafe { (*desc).load_anchor() }.state() == SbState::Empty
+                    && heap.cas_partial(desc, core::ptr::null_mut())
+                {
+                    unsafe { inner.desc_pool.retire(&inner.domain, desc) };
+                }
+            }
+            let list = &inner.classes[ci].partial;
+            let mut keep: Vec<*mut crate::descriptor::Descriptor> = Vec::new();
+            while let Some(desc) = unsafe { list.get(&inner.domain) } {
+                if unsafe { (*desc).load_anchor() }.state() == SbState::Empty {
+                    unsafe { inner.desc_pool.retire(&inner.domain, desc) };
+                } else {
+                    keep.push(desc);
+                }
+            }
+            for desc in keep {
+                unsafe { list.put(&inner.domain, desc) };
+            }
+        }
+        // 3. Flush every record's retired descriptors back into the
+        //    descriptor pool so step 4 sees the slabs as free.
+        unsafe { inner.domain.flush_all() };
+        // 4. Give fully free hyperblocks and slabs back to the OS.
+        let mut released = unsafe { inner.sb_pool.trim_to(&inner.source, target_bytes) };
+        released += unsafe { inner.desc_pool.trim(&inner.domain, &inner.source) };
+        released
     }
 
     /// Allocates `size` bytes at alignment `align` (any power of two).
@@ -385,6 +541,95 @@ mod tests {
         let h1 = a.inner().heap_for(ci) as *const ProcHeap;
         let h2 = a.inner().heap_at(ci, 0) as *const ProcHeap;
         assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn try_construction_succeeds_and_reports_errors_as_values() {
+        let a = LfMalloc::try_new_default().expect("healthy system must construct");
+        unsafe {
+            let p = a.malloc(100);
+            assert!(!p.is_null());
+            a.free(p);
+        }
+        assert_eq!(format!("{OutOfMemory}"), "lfmalloc: out of memory constructing instance");
+    }
+
+    #[test]
+    fn trim_after_free_all_returns_every_byte() {
+        let a = LfMalloc::with_config(Config::with_heaps(2));
+        unsafe {
+            let mut ptrs = Vec::new();
+            for i in 0..2_000usize {
+                let p = a.malloc(8 + (i % 500));
+                assert!(!p.is_null());
+                ptrs.push(p);
+            }
+            for p in ptrs {
+                a.free(p);
+            }
+            // Idle actives pin their hyperblocks until trimmed.
+            assert!(a.os_stats().live_bytes > 0);
+            let released = a.trim();
+            assert!(released > 0);
+            assert_eq!(
+                a.os_stats().live_bytes,
+                0,
+                "all superblock hyperblocks and descriptor slabs released"
+            );
+            assert_eq!(a.hyperblock_count(), 0);
+            let rep = a.audit();
+            assert!(rep.is_clean(), "audit after trim: {rep}");
+            // The instance stays fully usable.
+            let p = a.malloc(64);
+            assert!(!p.is_null());
+            a.free(p);
+        }
+    }
+
+    #[test]
+    fn trim_with_live_blocks_keeps_them_valid() {
+        let a = LfMalloc::with_config(Config::with_heaps(1));
+        unsafe {
+            let p = a.malloc(4_000); // class 4096: 4 blocks per superblock
+            let q = a.malloc(4_000);
+            core::ptr::write_bytes(p, 0xAB, 4_000);
+            a.free(q);
+            let released = a.trim();
+            // The partially used superblock's hyperblock must survive.
+            assert_eq!(a.hyperblock_count(), 1);
+            let _ = released;
+            assert_eq!(*p, 0xAB);
+            assert_eq!(*p.add(3_999), 0xAB);
+            let rep = a.audit();
+            assert!(rep.is_clean(), "audit after partial trim: {rep}");
+            a.free(p);
+            a.trim();
+            assert_eq!(a.os_stats().live_bytes, 0);
+            assert!(a.audit().is_clean());
+        }
+    }
+
+    #[test]
+    fn trim_to_keeps_watermark_of_cached_hyperblocks() {
+        let a = LfMalloc::with_config(Config::with_heaps(1));
+        unsafe {
+            // Force several hyperblocks by allocating > 1 MiB of blocks.
+            let mut ptrs = Vec::new();
+            for _ in 0..300 {
+                let p = a.malloc(8_000); // class 8192: 2 blocks per sb
+                assert!(!p.is_null());
+                ptrs.push(p);
+            }
+            assert!(a.hyperblock_count() >= 3);
+            for p in ptrs {
+                a.free(p);
+            }
+            a.trim_to(1 << 20);
+            assert_eq!(a.hyperblock_count(), 1, "watermark caches one hyperblock");
+            assert!(a.audit().is_clean());
+            a.trim();
+            assert_eq!(a.hyperblock_count(), 0);
+        }
     }
 
     #[test]

@@ -49,7 +49,11 @@ pub(crate) unsafe fn alloc_large<S: PageSource>(
     };
     let total = pages_for(padded & !(PAGE_SIZE - 1));
     let os_align = align.max(PAGE_SIZE);
-    let base = unsafe { inner.source.alloc_pages(total, os_align) };
+    // Bounded backoff: ride out a transient source outage rather than
+    // reporting spurious OOM (same policy as the superblock carve).
+    let base = crate::retry::with_backoff(inner.config.oom_retries, || unsafe {
+        inner.source.alloc_pages(total, os_align)
+    });
     if base.is_null() {
         return core::ptr::null_mut();
     }

@@ -68,9 +68,10 @@ pub mod heap;
 pub mod instance;
 pub mod large;
 pub mod partial;
+pub(crate) mod retry;
 pub mod size_classes;
 
 pub use audit::{AuditReport, AuditViolation};
 pub use config::{Config, HeapMode, PartialMode};
 pub use global::GlobalLfMalloc;
-pub use instance::LfMalloc;
+pub use instance::{LfMalloc, OutOfMemory};

@@ -166,6 +166,9 @@ mod tests {
         (SystemSource::new(), Box::new(HazardDomain::new()), Box::new(DescriptorPool::new()))
     }
 
+    // Must run while any PartialList that retired nodes into `domain`
+    // is still alive: dropping the domain reclaims retired queue nodes
+    // into their owning NodePool, so the list drops only afterwards.
     fn teardown(src: SystemSource, domain: Box<HazardDomain>, pool: Box<DescriptorPool>) {
         drop(domain);
         unsafe { pool.release_all(&src) };
@@ -197,8 +200,8 @@ mod tests {
             assert_eq!(list.get(&domain), Some(d2));
             assert_eq!(list.get(&domain), None);
         }
-        drop(list);
         teardown(src, domain, pool);
+        drop(list);
     }
 
     #[test]
@@ -215,8 +218,8 @@ mod tests {
             assert_eq!(list.get(&domain), Some(d1));
             assert_eq!(list.get(&domain), None);
         }
-        drop(list);
         teardown(src, domain, pool);
+        drop(list);
     }
 
     #[test]
@@ -246,8 +249,8 @@ mod tests {
                 assert_eq!(list.get(&domain), Some(partial));
                 assert_eq!(list.get(&domain), None);
             }
-            drop(list);
             teardown(src, domain, pool);
+            drop(list);
         }
     }
 
@@ -267,8 +270,8 @@ mod tests {
             assert_eq!(list.get(&domain), Some(empty));
             assert_eq!(list.get(&domain), Some(partial));
         }
-        drop(list);
         teardown(src, domain, pool);
+        drop(list);
     }
 
     #[test]
@@ -280,7 +283,7 @@ mod tests {
             list.remove_empty(&domain, &pool);
         }
         assert!(list.is_empty_hint());
-        drop(list);
         teardown(src, domain, pool);
+        drop(list);
     }
 }

@@ -7,10 +7,13 @@
 //! [`PagePool`] keeps a lock-free LIFO of free regions. When empty it
 //! obtains one hyperblock from the [`PageSource`], hands out the first
 //! region, and pushes the rest. Freed regions return to the LIFO — the
-//! pool **never unmaps**, which is what makes the tag-protected stack
-//! traversal safe (see [`TaggedStack`]); the paper makes the equivalent
-//! trade for descriptor superblocks and notes the retained fraction is
-//! negligible. `release_all` exists for orderly teardown by the owner.
+//! pool **never unmaps on the hot path**, which is what makes the
+//! tag-protected stack traversal safe (see [`TaggedStack`]); the paper
+//! makes the equivalent trade for descriptor superblocks and notes the
+//! retained fraction is negligible. Memory does go back to the OS, but
+//! only through the quiescent maintenance entry points: `trim`/`trim_to`
+//! unmap fully free hyperblocks down to a watermark, and `release_all`
+//! exists for orderly teardown by the owner.
 
 use crate::source::PageSource;
 use core::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
@@ -96,7 +99,14 @@ impl<const SHIFT: u32> PagePool<SHIFT> {
             // repopulated it while the OS call failed.
             return unsafe { self.free.pop() }.map_or(core::ptr::null_mut(), |r| r as *mut u8);
         }
-        self.register_hyperblock(base, bytes);
+        if !self.register_hyperblock(base, bytes) {
+            // No registry record means no teardown/trim path for this
+            // hyperblock; return it rather than leak it, and report OOM
+            // (the registry record comes from the system allocator, so
+            // failing here means memory is truly exhausted).
+            unsafe { source.dealloc_pages(base, bytes, Self::REGION_SIZE) };
+            return unsafe { self.free.pop() }.map_or(core::ptr::null_mut(), |r| r as *mut u8);
+        }
         // Keep region 0, push the rest.
         for i in 1..self.batch {
             unsafe { self.free.push(base as usize + (i << SHIFT)) };
@@ -160,9 +170,72 @@ impl<const SHIFT: u32> PagePool<SHIFT> {
         self.hyper_count.store(0, Ordering::Relaxed);
     }
 
-    fn register_hyperblock(&self, base: *mut u8, bytes: usize) {
+    /// Unmaps every *fully free* hyperblock (all `batch` regions on the
+    /// free LIFO) and returns the number of bytes released to `source`.
+    ///
+    /// # Safety
+    ///
+    /// Requires quiescence: no concurrent `alloc`/`dealloc` on this pool
+    /// while trimming (the free-LIFO links live inside the hyperblocks
+    /// being unmapped, and the tag-protected traversal safety argument
+    /// rests on regions never disappearing mid-pop). `source` must be
+    /// the same source passed to every `alloc`.
+    pub unsafe fn trim<S: PageSource>(&self, source: &S) -> usize {
+        unsafe { self.trim_to(source, 0) }
+    }
+
+    /// Like [`trim`](Self::trim), but stops once the pool's mapped bytes
+    /// drop to `target_bytes` (a low watermark). Only fully free
+    /// hyperblocks are candidates; partially used ones are never touched.
+    ///
+    /// # Safety
+    ///
+    /// Same quiescence contract as [`trim`](Self::trim).
+    pub unsafe fn trim_to<S: PageSource>(&self, source: &S, target_bytes: usize) -> usize {
+        // Drain the free LIFO into a local set so we can count per-
+        // hyperblock free regions without racing our own traversal.
+        let mut free: Vec<usize> = Vec::new();
+        while let Some(r) = unsafe { self.free.pop() } {
+            free.push(r);
+        }
+        // Detach the registry; we rebuild it below with survivors only.
+        let mut p = self.hypers.swap(core::ptr::null_mut(), Ordering::AcqRel);
+        let mut released = 0usize;
+        let mut survivors: *mut HyperRecord = core::ptr::null_mut();
+        while !p.is_null() {
+            let rec = unsafe { &mut *p };
+            let next = rec.next;
+            let (base, bytes) = (rec.base as usize, rec.bytes);
+            let free_here = free.iter().filter(|&&r| r >= base && r < base + bytes).count();
+            let fully_free = free_here << SHIFT == bytes;
+            if fully_free && self.mapped_bytes() > target_bytes {
+                free.retain(|&r| r < base || r >= base + bytes);
+                unsafe { source.dealloc_pages(base as *mut u8, bytes, Self::REGION_SIZE) };
+                unsafe { System.dealloc(p as *mut u8, Layout::new::<HyperRecord>()) };
+                self.hyper_count.fetch_sub(1, Ordering::Relaxed);
+                released += bytes;
+            } else {
+                rec.next = survivors;
+                survivors = p;
+            }
+            p = next;
+        }
+        self.hypers.store(survivors, Ordering::Release);
+        // Re-seed the LIFO with the surviving free regions.
+        for r in free {
+            unsafe { self.free.push(r) };
+        }
+        released
+    }
+
+    /// Registers a freshly mapped hyperblock; `false` means the registry
+    /// record itself could not be allocated (the hyperblock is *not*
+    /// registered and the caller must hand it back to the source).
+    fn register_hyperblock(&self, base: *mut u8, bytes: usize) -> bool {
         let rec = unsafe { System.alloc(Layout::new::<HyperRecord>()) } as *mut HyperRecord;
-        assert!(!rec.is_null(), "hyperblock registry allocation failed");
+        if rec.is_null() {
+            return false;
+        }
         let mut head = self.hypers.load(Ordering::Acquire);
         loop {
             unsafe { rec.write(HyperRecord { base, bytes, next: head }) };
@@ -173,6 +246,7 @@ impl<const SHIFT: u32> PagePool<SHIFT> {
             }
         }
         self.hyper_count.fetch_add(1, Ordering::Relaxed);
+        true
     }
 }
 
@@ -257,6 +331,69 @@ mod tests {
             pool.dealloc(r);
             pool.release_all(&src);
         }
+    }
+
+    #[test]
+    fn trim_unmaps_only_fully_free_hyperblocks() {
+        let src = CountingSource::new(SystemSource::new());
+        let pool = SbPool::new(4);
+        // Two hyperblocks: keep one region of the first live, free the rest.
+        let regions: Vec<*mut u8> = (0..8).map(|_| pool.alloc(&src)).collect();
+        assert_eq!(pool.hyperblock_count(), 2);
+        for &r in &regions[1..] {
+            unsafe { pool.dealloc(r) };
+        }
+        let released = unsafe { pool.trim(&src) };
+        assert_eq!(released, 4 * SbPool::REGION_SIZE, "exactly one hyperblock released");
+        assert_eq!(pool.hyperblock_count(), 1);
+        assert_eq!(src.stats().live_bytes, 4 * SbPool::REGION_SIZE);
+        // The surviving hyperblock's free regions are still usable.
+        let again = pool.alloc(&src);
+        assert!(!again.is_null());
+        assert_eq!(src.stats().os_allocs, 2, "trim must not force a remap");
+        unsafe {
+            pool.dealloc(again);
+            pool.dealloc(regions[0]);
+            pool.release_all(&src);
+        }
+        assert_eq!(src.stats().live_bytes, 0);
+    }
+
+    #[test]
+    fn trim_to_respects_watermark() {
+        let src = CountingSource::new(SystemSource::new());
+        let pool = SbPool::new(2);
+        let regions: Vec<*mut u8> = (0..6).map(|_| pool.alloc(&src)).collect();
+        assert_eq!(pool.hyperblock_count(), 3);
+        for r in regions {
+            unsafe { pool.dealloc(r) };
+        }
+        // Watermark of one hyperblock: trim stops there even though all
+        // three are fully free.
+        let hyper_bytes = 2 * SbPool::REGION_SIZE;
+        let released = unsafe { pool.trim_to(&src, hyper_bytes) };
+        assert_eq!(released, 2 * hyper_bytes);
+        assert_eq!(pool.hyperblock_count(), 1);
+        // A full trim takes the rest.
+        assert_eq!(unsafe { pool.trim(&src) }, hyper_bytes);
+        assert_eq!(pool.hyperblock_count(), 0);
+        assert_eq!(src.stats().live_bytes, 0);
+        // The pool remains usable after trimming to zero.
+        let r = pool.alloc(&src);
+        assert!(!r.is_null());
+        unsafe {
+            pool.dealloc(r);
+            pool.release_all(&src);
+        }
+        assert_eq!(src.stats().live_bytes, 0);
+    }
+
+    #[test]
+    fn trim_on_empty_pool_is_noop() {
+        let src = CountingSource::new(SystemSource::new());
+        let pool = SbPool::new(4);
+        assert_eq!(unsafe { pool.trim(&src) }, 0);
+        assert_eq!(pool.hyperblock_count(), 0);
     }
 
     #[test]

@@ -272,4 +272,46 @@ mod tests {
         }
         assert_eq!(a.arena_count(), 1);
     }
+
+    #[test]
+    fn exhausted_source_yields_null_not_panic() {
+        use osmem::FlakySource;
+
+        // A source with zero budget: every malloc size must come back
+        // null — small (via arena grow) and huge (direct mmap) alike.
+        let dead = Arc::new(FlakySource::new(SystemSource::new(), 0));
+        let a = Ptmalloc::with_source(Arc::clone(&dead));
+        unsafe {
+            assert!(a.malloc(64).is_null());
+            assert!(a.malloc(4 << 20).is_null());
+        }
+        assert!(dead.denials() >= 2, "both paths must have hit the source");
+
+        // A budget of one segment: allocate until it runs dry, then
+        // every free must still succeed and the memory stays reusable
+        // without any further OS grant.
+        let tight = Arc::new(FlakySource::new(SystemSource::new(), 1));
+        let a = Ptmalloc::with_source(Arc::clone(&tight));
+        let mut live = Vec::new();
+        unsafe {
+            loop {
+                let p = a.malloc(4096);
+                if p.is_null() {
+                    break;
+                }
+                live.push(p as usize);
+            }
+            assert!(!live.is_empty(), "one segment must serve some blocks");
+            assert!(tight.denials() > 0);
+            for &p in &live {
+                a.free(p as *mut u8);
+            }
+            // Coalesced memory is recycled without touching the source.
+            let before = tight.denials();
+            let p = a.malloc(4096);
+            assert!(!p.is_null());
+            assert_eq!(tight.denials(), before);
+            a.free(p);
+        }
+    }
 }

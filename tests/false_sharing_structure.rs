@@ -31,9 +31,20 @@ fn two_thread_allocation_sets<A: RawMalloc + Send + Sync + 'static>(
         let barrier = Arc::clone(&barrier);
         let _ = Arc::clone(&free_after);
         handles.push(std::thread::spawn(move || {
-            barrier.wait();
-            let ptrs: Vec<usize> =
-                (0..blocks).map(|_| unsafe { alloc.malloc(size) } as usize).collect();
+            // Allocate in barrier-paced batches so neither thread can
+            // run to completion unopposed: the serial baseline below
+            // relies on the threads genuinely overlapping, and the
+            // zero-sharing tests are only stronger for it. The batch
+            // length is deliberately not a multiple of the line/chunk
+            // ratio, so even strict batch alternation splits lines.
+            const BATCH: usize = 37;
+            let mut ptrs = Vec::with_capacity(blocks);
+            while ptrs.len() < blocks {
+                barrier.wait();
+                for _ in 0..BATCH.min(blocks - ptrs.len()) {
+                    ptrs.push(unsafe { alloc.malloc(size) } as usize);
+                }
+            }
             assert!(ptrs.iter().all(|&p| p != 0));
             ptrs
         }));

@@ -1,0 +1,239 @@
+//! Memory-pressure resilience, end to end through the public
+//! malloc/free API:
+//!
+//! * a pressure burst up to a byte cap, a full drain, and
+//!   [`LfMalloc::trim`] must hand essentially everything back to the OS
+//!   (within one hyperblock of zero live bytes);
+//! * a total OS outage ([`FlakySource::fail_next`]) must degrade to null
+//!   returns — never a panic — while frees keep succeeding, and service
+//!   must recover on its own once the outage drains;
+//! * the emergency descriptor reserve must keep the free path (and its
+//!   EMPTY-superblock bookkeeping) alive after the source dies;
+//! * construction is fallible ([`LfMalloc::try_with_config_and_source`])
+//!   and lazy: an allocator over a dead source builds fine and reports
+//!   OOM per-call.
+//!
+//! Every scenario ends in a clean [`LfMalloc::audit`]. See DESIGN.md §7
+//! and EXPERIMENTS.md ("OOM torture") for the policy and repro commands.
+
+use lfmalloc_repro::prelude::*;
+use malloc_api::testkit;
+use osmem::{CountingSource, FlakySource, PageSource, SystemSource};
+use std::sync::Arc;
+
+/// One hyperblock: the trim watermark's natural resolution.
+const HYPERBLOCK: usize = 1 << 20;
+
+fn assert_clean<S: osmem::PageSource + Send + Sync>(a: &LfMalloc<S>, scenario: &str, seed: u64) {
+    let rep = a.audit();
+    assert!(rep.is_clean(), "audit violations (scenario {scenario}, seed {seed:#x}):\n{rep}");
+}
+
+/// Mixed small/medium/large request sizes.
+fn burst_size(rng: &mut testkit::TestRng) -> usize {
+    match rng.range(0, 10) {
+        0..=5 => rng.range(8, 256),
+        6..=8 => rng.range(256, 8192),
+        _ => rng.range(8192, 40_000),
+    }
+}
+
+#[test]
+fn trim_returns_a_pressure_burst_to_the_os() {
+    for seed in [0x7212_0001u64, 0x7212_0002] {
+        let src = Arc::new(CountingSource::new(SystemSource::new()));
+        let a = LfMalloc::with_config_and_source(Config::with_heaps(2), Arc::clone(&src));
+        let mut rng = testkit::TestRng::new(seed);
+        let mut live: Vec<(*mut u8, usize)> = Vec::new();
+
+        // Burst: allocate mixed sizes until 32 MiB is held.
+        const CAP: usize = 32 << 20;
+        let mut held = 0usize;
+        unsafe {
+            while held < CAP {
+                let sz = burst_size(&mut rng);
+                let p = a.malloc(sz);
+                assert!(!p.is_null(), "system source denied a burst alloc (seed {seed:#x})");
+                testkit::fill(p, sz);
+                live.push((p, sz));
+                held += sz;
+            }
+            assert!(src.stats().live_bytes >= CAP / 2, "burst never reached the OS");
+
+            // Drain and trim: everything must come back.
+            for (p, sz) in live.drain(..) {
+                testkit::check_fill(p, sz);
+                a.free(p);
+            }
+            let released = a.trim();
+            assert!(released > 0, "trim released nothing after a full drain (seed {seed:#x})");
+        }
+        let after = src.stats().live_bytes;
+        assert!(
+            after <= HYPERBLOCK,
+            "trim left {after} OS bytes live (> one hyperblock; seed {seed:#x})"
+        );
+        assert_clean(&a, "post-trim", seed);
+
+        // The trimmed allocator must be fully serviceable.
+        unsafe {
+            let p = a.malloc(4096);
+            assert!(!p.is_null());
+            testkit::fill(p, 4096);
+            testkit::check_fill(p, 4096);
+            a.free(p);
+        }
+        assert_clean(&a, "post-trim reuse", seed);
+    }
+}
+
+#[test]
+fn trim_to_watermark_keeps_a_warm_cache() {
+    let src = Arc::new(CountingSource::new(SystemSource::new()));
+    let a = LfMalloc::with_config_and_source(Config::with_heaps(1), Arc::clone(&src));
+    unsafe {
+        let blocks: Vec<*mut u8> = (0..20_000).map(|_| a.malloc(64)).collect();
+        for p in blocks {
+            assert!(!p.is_null());
+            a.free(p);
+        }
+        // Keep up to two hyperblocks of superblock cache for the next
+        // burst; release the rest.
+        a.trim_to(2 * HYPERBLOCK);
+    }
+    let kept = a.hyperblock_count();
+    assert!(kept <= 2, "watermark ignored: {kept} hyperblocks");
+    assert_clean(&a, "trim_to watermark", 0);
+    // The retained cache serves the next burst without mapping a fresh
+    // hyperblock. (A 16 KiB descriptor slab may be re-carved — trim
+    // releases fully-free slabs too — so count hyperblocks, not calls.)
+    unsafe {
+        let p = a.malloc(64);
+        assert!(!p.is_null());
+        a.free(p);
+    }
+    assert_eq!(a.hyperblock_count(), kept, "warm hyperblock cache was not used");
+}
+
+#[test]
+fn full_outage_yields_nulls_then_recovers() {
+    for seed in [0x0u64, 0xDEAD_BEEF, 0x5CA1_AB1E] {
+        let src = Arc::new(FlakySource::reliable(CountingSource::new(SystemSource::new())));
+        let a = LfMalloc::with_config_and_source(Config::with_heaps(2), Arc::clone(&src));
+
+        // Warm up: some small blocks stay cached across the outage.
+        let warm: Vec<*mut u8> = unsafe { (0..512).map(|_| a.malloc(64)).collect() };
+        assert!(warm.iter().all(|p| !p.is_null()));
+
+        // Total outage, deeper than the retry budget can absorb.
+        let denials_before = src.denials();
+        src.fail_next(400);
+
+        unsafe {
+            // Large blocks go straight to the OS: with the source dark,
+            // they must come back null — not panic, not spin forever.
+            let mut nulls = 0;
+            for _ in 0..8 {
+                let p = a.malloc(HYPERBLOCK);
+                if p.is_null() {
+                    nulls += 1;
+                } else {
+                    a.free(p);
+                }
+            }
+            assert!(nulls > 0, "outage never surfaced as null (seed {seed:#x})");
+            assert!(src.denials() > denials_before, "outage plan never fired");
+
+            // Frees never touch the source: draining the warm set must
+            // succeed mid-outage, and the recycled blocks keep small
+            // mallocs serviceable from cache while the OS is dark.
+            for p in warm {
+                a.free(p);
+            }
+            let cached = a.malloc(64);
+            assert!(!cached.is_null(), "cached superblocks must serve during an outage");
+            a.free(cached);
+
+            // Recovery: keep asking until the outage drains. Each
+            // attempt consumes at most 1 + oom_retries denials, so the
+            // bound below is generous.
+            let mut recovered = false;
+            for _ in 0..200 {
+                let p = a.malloc(HYPERBLOCK);
+                if !p.is_null() {
+                    a.free(p);
+                    recovered = true;
+                    break;
+                }
+            }
+            assert!(recovered, "service never recovered after the outage (seed {seed:#x})");
+        }
+        assert_clean(&a, "outage + recovery", seed);
+
+        // After recovery, trim still reconciles to (near) zero.
+        unsafe { a.trim() };
+        let after = src.stats().live_bytes;
+        assert!(after <= HYPERBLOCK, "post-recovery trim left {after} bytes (seed {seed:#x})");
+        assert_clean(&a, "post-recovery trim", seed);
+    }
+}
+
+#[test]
+fn descriptor_reserve_keeps_frees_alive_after_source_death() {
+    // A tight budget: a few hyperblocks' worth of OS grants, then the
+    // source dies for good (no outage recovery, no refill).
+    let src = Arc::new(FlakySource::new(CountingSource::new(SystemSource::new()), 6));
+    let a = LfMalloc::with_config_and_source(Config::with_heaps(1), Arc::clone(&src));
+
+    let mut live: Vec<*mut u8> = Vec::new();
+    unsafe {
+        // Allocate until the allocator reports OOM (bounded: 6 grants
+        // can back at most a few hundred thousand 64-byte blocks).
+        for _ in 0..1_000_000 {
+            let p = a.malloc(64);
+            if p.is_null() {
+                break;
+            }
+            live.push(p);
+        }
+    }
+    assert!(!live.is_empty(), "budget of 6 grants served nothing");
+    assert!(src.denials() > 0, "the source never went dry");
+    assert!(
+        a.descriptor_reserve_len() > 0,
+        "no emergency descriptors on hand at exhaustion"
+    );
+
+    // Every free — including the EMPTY-superblock transitions they
+    // trigger — must succeed with the source dead.
+    unsafe {
+        for p in live.drain(..) {
+            a.free(p);
+        }
+        // And the recycled memory serves new requests without the OS.
+        let p = a.malloc(64);
+        assert!(!p.is_null(), "recycled memory unusable after source death");
+        a.free(p);
+    }
+    assert_clean(&a, "dead-source drain", 0);
+}
+
+#[test]
+fn construction_is_fallible_and_lazy() {
+    // try_* constructors report failure as a value...
+    let a = LfMalloc::try_new_default().expect("healthy construction must succeed");
+    drop(a);
+
+    // ...and construction over a dead source succeeds because no pages
+    // are mapped until the first malloc, which then fails per-call.
+    let dead = Arc::new(FlakySource::new(SystemSource::new(), 0));
+    let a = LfMalloc::try_with_config_and_source(Config::with_heaps(1), Arc::clone(&dead))
+        .expect("construction must not touch the page source");
+    unsafe {
+        assert!(a.malloc(64).is_null());
+        assert!(a.malloc(4 << 20).is_null());
+        a.free(core::ptr::null_mut()); // free(NULL) is a no-op, even now
+    }
+    assert!(dead.denials() > 0);
+    assert_clean(&a, "dead source from birth", 0);
+}
