@@ -17,7 +17,7 @@
 pub mod heap;
 pub mod sb;
 
-use core::sync::atomic::{AtomicUsize, Ordering};
+use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use heap::{class_for, lock_owner, HoardHeap, CLASS_SIZES_H};
 use malloc_api::{AllocStats, RawMalloc};
 use osmem::source::pages_for;
@@ -61,6 +61,8 @@ pub struct Hoard<S: PageSource = CountingSource<SystemSource>> {
     global: HoardHeap,
     pool: PagePool<SB_SHIFT>,
     source: Arc<S>,
+    /// Frees rejected by region-magic or block-geometry validation.
+    misuse: AtomicU64,
 }
 
 impl Hoard<CountingSource<SystemSource>> {
@@ -85,7 +87,16 @@ impl<S: PageSource + Send + Sync> Hoard<S> {
             global: HoardHeap::new(),
             pool: PagePool::new(64), // 1 MiB batches, like the others
             source,
+            misuse: AtomicU64::new(0),
         }
+    }
+
+    /// Frees rejected because the 16 KiB region carried neither magic
+    /// value, or the pointer failed block-geometry checks against its
+    /// superblock (misaligned interior pointer, out-of-range offset, or
+    /// a free into an already-empty superblock).
+    pub fn misuse_count(&self) -> u64 {
+        self.misuse.load(Ordering::Relaxed)
     }
 
     /// The page source (for stats).
@@ -160,6 +171,15 @@ impl<S: PageSource + Send + Sync> Hoard<S> {
         let sz = unsafe { (*sb).sz } as usize;
         let (owner, mut guard) = unsafe { lock_owner(&self.heaps, &self.global, sb) };
         unsafe {
+            // Geometry checks under the owner's lock, before the block
+            // is linked into the free list: a misaligned or out-of-range
+            // pointer would corrupt the list, and a free into an empty
+            // superblock would underflow `used`.
+            let off = (ptr as usize).wrapping_sub(sb as usize + SB_HEADER);
+            if off % sz != 0 || off >= (*sb).capacity as usize * sz || (*sb).used == 0 {
+                self.misuse.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
             (*sb).push_block(ptr);
             guard.u -= sz;
             guard.refile(sb);
@@ -244,7 +264,11 @@ unsafe impl<S: PageSource + Send + Sync> RawMalloc for Hoard<S> {
         match unsafe { (*region).magic } {
             MAGIC_SB => unsafe { self.free_small(ptr, region) },
             MAGIC_DIRECT => unsafe { self.free_direct(region) },
-            other => unreachable!("hoard: corrupt region magic {other:#x}"),
+            // Foreign or wild pointer: its region carries neither magic.
+            // Count and drop the free instead of aborting mid-workload.
+            _ => {
+                self.misuse.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -408,6 +432,36 @@ mod tests {
             assert!(!p.is_null());
             a.free(p);
         }
+    }
+
+    #[test]
+    fn misuse_is_counted_not_fatal() {
+        let a = Hoard::new(1);
+        unsafe {
+            let p = a.malloc(64);
+            assert!(!p.is_null());
+            // Misaligned interior pointer: same superblock, bad offset.
+            a.free(p.add(8));
+            assert_eq!(a.misuse_count(), 1);
+            // The block itself is still valid and freeable.
+            a.free(p);
+            assert_eq!(a.misuse_count(), 1);
+            // Freeing it again hits either the used==0 underflow check
+            // (superblock drained to the pool) or the magic check.
+            a.free(p);
+            assert_eq!(a.misuse_count(), 2);
+            // Foreign pointer whose 16 KiB region is mapped but carries
+            // no hoard magic.
+            let foreign = vec![0u8; 3 * SB_SIZE];
+            let inside = ((foreign.as_ptr() as usize + SB_SIZE - 1) & !(SB_SIZE - 1)) + 64;
+            a.free(inside as *mut u8);
+            assert_eq!(a.misuse_count(), 3);
+            // The allocator still works after every rejection.
+            let q = a.malloc(64);
+            assert!(!q.is_null());
+            a.free(q);
+        }
+        assert_eq!(a.misuse_count(), 3);
     }
 
     #[test]

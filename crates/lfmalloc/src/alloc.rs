@@ -47,19 +47,36 @@ pub(crate) unsafe fn malloc_small<S: PageSource>(
     let heap = inner.heap_for(ci);
     loop {
         if let Some((block, desc)) = unsafe { malloc_from_active(inner, heap) } {
+            unsafe { note_alloc(inner, block, desc) };
             return unsafe { finish_block(block, desc, off) };
         }
         if let Some((block, desc)) = unsafe { malloc_from_partial(inner, heap) } {
+            unsafe { note_alloc(inner, block, desc) };
             return unsafe { finish_block(block, desc, off) };
         }
         match unsafe { malloc_from_new_sb(inner, heap) } {
             NewSb::Done(Some((block, desc))) => {
-                return unsafe { finish_block(block, desc, off) }
+                unsafe { note_alloc(inner, block, desc) };
+                return unsafe { finish_block(block, desc, off) };
             }
             NewSb::Done(None) => return core::ptr::null_mut(),
             NewSb::Lost => continue,
         }
     }
+}
+
+/// Hardened-mode bookkeeping for a freshly obtained block: set its
+/// allocation bit before the pointer can escape to the application (the
+/// bit is this thread's exclusive property until `finish_block`
+/// returns, so the set cannot race a legitimate free).
+#[inline]
+unsafe fn note_alloc<S: PageSource>(inner: &Inner<S>, block: usize, desc: *const Descriptor) {
+    if inner.config.hardening == crate::harden::Hardening::Off {
+        return;
+    }
+    let d = unsafe { &*desc };
+    let idx = (block - d.sb() as usize) / d.sz() as usize;
+    d.set_alloc_bit(idx);
 }
 
 /// Performs ONLY the first step of `MallocFromActive` — reserving a
@@ -355,6 +372,12 @@ unsafe fn malloc_from_new_sb<S: PageSource>(inner: &Inner<S>, heap: &ProcHeap) -
     desc.set_sb(sb);
     desc.set_sz(sz as u32); // line 6
     desc.set_maxcount(maxcount); // line 7
+    if inner.config.hardening != crate::harden::Hardening::Off {
+        // A recycled descriptor can carry stale allocation bits from
+        // blocks leaked on its previous superblock (kill-injected
+        // frees); this superblock starts with every block free.
+        desc.reset_alloc_bits();
+    }
     let credits = (maxcount - 1).min(inner.config.max_credits) - 1; // line 9
     let count = (maxcount - 1) - (credits + 1); // line 10
     // lines 5, 10, 11 — preserving the descriptor's tag sequence across

@@ -452,6 +452,7 @@ fn check_linked_desc<S: PageSource>(
     // onto the list (abandoned reservations), so the walk stops after
     // `expected` — a longer list is legal, a shorter or cyclic one is
     // corruption.
+    let hardened = inner.config.hardening != crate::harden::Hardening::Off;
     let mut visited: HashSet<u64> = HashSet::new();
     let mut idx = anchor.avail() as u64;
     for step in 0..expected {
@@ -475,10 +476,42 @@ fn check_linked_desc<S: PageSource>(
             });
             break;
         }
+        // Hardened cross-check: a block on the free list must not be
+        // marked allocated in the descriptor's bitmap (the bit is
+        // cleared before the anchor push and set before the pointer
+        // escapes malloc).
+        if hardened && desc.alloc_bit(idx as usize) {
+            rep.violations.push(AuditViolation {
+                check: "harden.bitmap-free-set",
+                detail: format!(
+                    "{}: desc {a:#x} free-listed block {idx} has its allocation bit set",
+                    l.place
+                ),
+            });
+        }
         // The first word of a free block is its next-free index (written
         // by the superblock carve or by free); quiescent free blocks
         // always hold a value <= maxcount.
         idx = unsafe { *((sb + idx as usize * sz as usize) as *const u64) };
     }
     rep.free_blocks_walked += visited.len();
+
+    // Hardened cross-check: allocated bits + free blocks accounted by
+    // the anchor/Active word can never exceed the population. One-
+    // directional (kills leak blocks with their bits clear, quarantined
+    // blocks are counted by neither side), so it survives any legal
+    // schedule.
+    if hardened {
+        let bits = desc.alloc_bit_count() as usize;
+        if bits + expected > maxc as usize {
+            rep.violations.push(AuditViolation {
+                check: "harden.bitmap-overcommit",
+                detail: format!(
+                    "{}: desc {a:#x} allocated bits {bits} + anchor-accounted {expected} \
+                     > maxcount {maxc}",
+                    l.place
+                ),
+            });
+        }
+    }
 }

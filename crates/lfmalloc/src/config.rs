@@ -1,5 +1,7 @@
 //! Allocator configuration and load-bearing constants.
 
+use crate::harden::Hardening;
+
 /// Superblock size exponent: superblocks are `2^SB_SHIFT` = 16 KiB, the
 /// paper's example size, and are carved from 1 MiB hyperblocks.
 pub const SB_SHIFT: u32 = 14;
@@ -86,6 +88,11 @@ pub struct Config {
     /// reports transient failure on the superblock-carve and large-
     /// allocation paths. 0 makes every source failure an immediate OOM.
     pub oom_retries: u32,
+    /// Deallocation hardening: [`Hardening::Off`] (default) keeps the
+    /// paper's trusting hot path; `Detect`/`Abort` validate every free
+    /// (provenance, double free, poison, guard pages) — see the
+    /// [`harden`](crate::harden) module.
+    pub hardening: Hardening,
 }
 
 impl Config {
@@ -100,6 +107,7 @@ impl Config {
             partial_mode: PartialMode::Fifo,
             max_credits: MAX_CREDITS,
             oom_retries: DEFAULT_OOM_RETRIES,
+            hardening: Hardening::Off,
         }
     }
 
@@ -112,6 +120,7 @@ impl Config {
             partial_mode: PartialMode::Fifo,
             max_credits: MAX_CREDITS,
             oom_retries: DEFAULT_OOM_RETRIES,
+            hardening: Hardening::Off,
         }
     }
 
@@ -122,6 +131,7 @@ impl Config {
             partial_mode: PartialMode::Fifo,
             max_credits: MAX_CREDITS,
             oom_retries: DEFAULT_OOM_RETRIES,
+            hardening: Hardening::Off,
         }
     }
 
@@ -133,6 +143,12 @@ impl Config {
     /// Retry budget for transient page-source failure.
     pub const fn with_oom_retries(self, n: u32) -> Self {
         Config { oom_retries: n, ..self }
+    }
+
+    /// Deallocation-hardening mode (const so the global allocator's
+    /// static configuration can opt in at compile time).
+    pub const fn with_hardening(self, h: Hardening) -> Self {
+        Config { hardening: h, ..self }
     }
 }
 
@@ -173,5 +189,14 @@ mod tests {
         assert_eq!(Config::detect().oom_retries, DEFAULT_OOM_RETRIES);
         assert_eq!(Config::with_heaps(2).oom_retries, DEFAULT_OOM_RETRIES);
         assert_eq!(Config::uniprocessor().with_oom_retries(0).oom_retries, 0);
+    }
+
+    #[test]
+    fn hardening_defaults_off_and_overrides() {
+        assert_eq!(Config::detect().hardening, Hardening::Off);
+        assert_eq!(Config::with_heaps(2).hardening, Hardening::Off);
+        let c = Config::uniprocessor().with_hardening(Hardening::Detect);
+        assert_eq!(c.hardening, Hardening::Detect);
+        assert_eq!(c.with_hardening(Hardening::Abort).hardening, Hardening::Abort);
     }
 }

@@ -33,6 +33,11 @@ use osmem::{PagePool, PageSource};
 /// partial-list queues).
 pub const SLOT_DESC: Slot = Slot(3);
 
+/// Words in the hardened-mode allocation bitmap: one bit per block,
+/// sized for the smallest class (16-byte blocks, prefix included →
+/// `SB_SIZE / 16` = 1024 blocks per superblock).
+pub const BITMAP_WORDS: usize = (1 << SB_SHIFT) / 16 / 64;
+
 /// A superblock descriptor (64-byte aligned so the `Active` word can
 /// pack credits into the pointer's low bits).
 #[repr(C, align(64))]
@@ -52,6 +57,12 @@ pub struct Descriptor {
     sz: AtomicU32,
     /// Blocks per superblock (`sbsize / sz`).
     maxcount: AtomicU32,
+    /// Hardened-mode allocation bitmap: bit `i` is set while block `i`
+    /// is handed out to the application. All zero (and untouched on the
+    /// hot paths) when hardening is off; the double-free arbiter when it
+    /// is on. Grows the descriptor from 64 to 192 bytes — the paper's
+    /// "less than 1% of allocated memory" bound still holds.
+    bitmap: [AtomicU64; BITMAP_WORDS],
 }
 
 unsafe impl Intrusive for Descriptor {
@@ -140,6 +151,45 @@ impl Descriptor {
     #[inline]
     pub fn set_maxcount(&self, n: u32) {
         self.maxcount.store(n, Ordering::Relaxed);
+    }
+
+    /// Marks block `idx` allocated (hardened mode); returns `false` if
+    /// the bit was already set — an accounting violation, since the
+    /// caller holds exclusive rights to a freshly obtained block.
+    #[inline]
+    pub fn set_alloc_bit(&self, idx: usize) -> bool {
+        let prev = self.bitmap[idx / 64].fetch_or(1 << (idx % 64), Ordering::AcqRel);
+        prev & (1 << (idx % 64)) == 0
+    }
+
+    /// Clears block `idx`'s allocated bit; returns `true` iff this call
+    /// cleared it. Concurrent double frees race on this `fetch_and`:
+    /// exactly one caller wins, every loser learns the block was already
+    /// free — without ever touching the anchor.
+    #[inline]
+    pub fn clear_alloc_bit(&self, idx: usize) -> bool {
+        let prev = self.bitmap[idx / 64].fetch_and(!(1 << (idx % 64)), Ordering::AcqRel);
+        prev & (1 << (idx % 64)) != 0
+    }
+
+    /// Whether block `idx` is currently marked allocated.
+    #[inline]
+    pub fn alloc_bit(&self, idx: usize) -> bool {
+        self.bitmap[idx / 64].load(Ordering::Acquire) & (1 << (idx % 64)) != 0
+    }
+
+    /// Number of blocks marked allocated (audit cross-check).
+    pub fn alloc_bit_count(&self) -> u32 {
+        self.bitmap.iter().map(|w| w.load(Ordering::Acquire).count_ones()).sum()
+    }
+
+    /// Zeroes the bitmap (superblock construction: a recycled descriptor
+    /// can carry stale bits from kill-injected frees on its previous
+    /// superblock).
+    pub fn reset_alloc_bits(&self) {
+        for w in &self.bitmap {
+            w.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -317,8 +367,27 @@ impl DescriptorPool {
         self.reserve_len.load(Ordering::Relaxed)
     }
 
-    /// Unmaps descriptor slabs whose 256 slots are all free, returning
-    /// the bytes released. Surviving free descriptors are re-stacked
+    /// Whether `desc` points at a valid descriptor slot inside one of
+    /// this pool's slabs — the provenance question a hardened free asks
+    /// about the pointer recovered from a block prefix *before*
+    /// dereferencing it. Lock-free and allocation-free.
+    pub fn owns(&self, desc: *const Descriptor) -> bool {
+        let addr = desc as usize;
+        match self.slabs.owning_region(addr) {
+            None => false,
+            Some((base, _)) => {
+                // Slabs tile the hyperblock; descriptors tile each slab
+                // at `size_of::<Descriptor>()` stride, with unusable
+                // slack past `DESC_PER_SLAB` slots.
+                let slab_off = (addr - base) % (1 << SB_SHIFT);
+                slab_off % core::mem::size_of::<Descriptor>() == 0
+                    && slab_off / core::mem::size_of::<Descriptor>() < DESC_PER_SLAB
+            }
+        }
+    }
+
+    /// Unmaps descriptor slabs whose [`DESC_PER_SLAB`] slots are all
+    /// free, returning the bytes released. Surviving free descriptors are re-stacked
     /// reserve-first so the emergency reserve stays topped up.
     ///
     /// # Safety
@@ -388,10 +457,62 @@ mod tests {
     use osmem::SystemSource;
 
     #[test]
-    fn descriptor_is_64_bytes_and_64_aligned() {
-        assert_eq!(core::mem::size_of::<Descriptor>(), 64);
+    fn descriptor_is_cacheline_aligned_with_bitmap() {
+        // 40 bytes of paper fields + 128 bytes of allocation bitmap,
+        // rounded to the 64-byte alignment the Active word needs.
+        assert_eq!(core::mem::size_of::<Descriptor>(), 192);
         assert_eq!(core::mem::align_of::<Descriptor>(), 64);
-        assert_eq!(DESC_PER_SLAB, 256);
+        assert_eq!(DESC_PER_SLAB, 85);
+        // The bitmap covers the densest class: 16-byte blocks.
+        assert_eq!(BITMAP_WORDS * 64, (1 << SB_SHIFT) / 16);
+    }
+
+    #[test]
+    fn alloc_bits_set_clear_and_race_semantics() {
+        let src = SystemSource::new();
+        let domain = HazardDomain::new();
+        let pool = Box::new(DescriptorPool::new());
+        unsafe {
+            let d = &*pool.alloc(&domain, &src);
+            assert_eq!(d.alloc_bit_count(), 0, "fresh descriptor starts clear");
+            assert!(d.set_alloc_bit(0));
+            assert!(d.set_alloc_bit(1023), "highest 16-byte-class index");
+            assert!(!d.set_alloc_bit(0), "re-set reports the violation");
+            assert_eq!(d.alloc_bit_count(), 2);
+            assert!(d.alloc_bit(0) && d.alloc_bit(1023) && !d.alloc_bit(7));
+            assert!(d.clear_alloc_bit(0), "first clear wins");
+            assert!(!d.clear_alloc_bit(0), "second clear is the double free");
+            d.reset_alloc_bits();
+            assert_eq!(d.alloc_bit_count(), 0);
+        }
+        drop(domain);
+        unsafe { pool.release_all(&src) };
+    }
+
+    #[test]
+    fn pool_owns_exactly_its_descriptor_slots() {
+        let src = SystemSource::new();
+        let domain = HazardDomain::new();
+        let pool = Box::new(DescriptorPool::new());
+        assert!(!pool.owns(core::ptr::null()), "empty pool owns nothing");
+        unsafe {
+            let d = pool.alloc(&domain, &src);
+            assert!(pool.owns(d));
+            // Misaligned interior pointer: inside the slab, wrong stride.
+            assert!(!pool.owns((d as usize + 8) as *const Descriptor));
+            // Slack past the last whole descriptor slot.
+            let (base, _) = pool
+                .slabs
+                .owning_region(d as usize)
+                .expect("slab registered");
+            let slack = base + DESC_PER_SLAB * core::mem::size_of::<Descriptor>();
+            assert!(!pool.owns(slack as *const Descriptor));
+            // Memory the pool never mapped.
+            let local = 0usize;
+            assert!(!pool.owns(&local as *const usize as *const Descriptor));
+        }
+        drop(domain);
+        unsafe { pool.release_all(&src) };
     }
 
     #[test]
@@ -460,8 +581,8 @@ mod tests {
             let d = pool.alloc(&domain, &src);
             assert!(!d.is_null());
             assert_eq!(pool.reserve_len(), DESC_RESERVE_TARGET);
-            // Exhaust DescAvail (255 fresh minus 64 reserved minus the
-            // one handed out = 191 left), with the source now dead.
+            // Exhaust DescAvail (the fresh slab minus the reserve minus
+            // the one handed out), with the source now dead.
             for _ in 0..(DESC_PER_SLAB - 1 - DESC_RESERVE_TARGET) {
                 assert!(!pool.alloc(&domain, &src).is_null());
             }

@@ -30,13 +30,34 @@ pub(crate) unsafe fn free_small<S: PageSource>(
     let desc = unsafe { &*desc_ptr };
     let sb = desc.sb() as usize; // line 6
     let sz = desc.sz() as usize;
-    let maxcount = desc.maxcount();
     // The prefix may sit anywhere inside the block (alignment offsets);
     // integer division recovers the block index (== the paper's
     // `(ptr-sb)/desc->sz` with the default 8-byte offset).
     let prefix_addr = ptr as usize - PREFIX_SIZE;
-    let idx = ((prefix_addr - sb) / sz) as u32; // line 9
-    let block = sb + idx as usize * sz;
+    let idx = (prefix_addr - sb) / sz; // line 9
+    let block = sb + idx * sz;
+    unsafe { push_free_block(inner, desc_ptr, block) }
+}
+
+/// Pushes `block` (a block *start* address) onto its superblock's free
+/// list and performs the state transitions of Figure 6 — the anchor-CAS
+/// half of [`free_small`], shared with the hardened path, which releases
+/// quarantined blocks through it.
+///
+/// # Safety
+///
+/// `block` must be an allocated block of `desc_ptr`'s superblock that no
+/// other thread can free concurrently.
+pub(crate) unsafe fn push_free_block<S: PageSource>(
+    inner: &Inner<S>,
+    desc_ptr: *mut Descriptor,
+    block: usize,
+) {
+    let desc = unsafe { &*desc_ptr };
+    let sb = desc.sb() as usize;
+    let sz = desc.sz() as usize;
+    let maxcount = desc.maxcount();
+    let idx = ((block - sb) / sz) as u32;
 
     let mut heap: *mut ProcHeap = core::ptr::null_mut();
     let (oldanchor, newanchor) = loop {

@@ -82,6 +82,11 @@ impl GlobalLfMalloc {
         // design, and the config is built from constants, not from
         // `available_parallelism()` (which allocates).
         let config = crate::config::Config::with_heaps(self.heaps);
+        // The `hardened` cargo feature turns on validated deallocation
+        // for the global allocator (Detect: count and survive misuse;
+        // aborting the process is an explicit-instance decision).
+        #[cfg(feature = "hardened")]
+        let config = config.with_hardening(crate::harden::Hardening::Detect);
         let candidate = unsafe {
             let raw = System.alloc(Layout::new::<LfMalloc<SystemSource>>())
                 as *mut LfMalloc<SystemSource>;

@@ -14,16 +14,21 @@
 use crate::active::Active;
 use crate::anchor::SbState;
 use crate::config::{Config, PREFIX_SIZE, SB_BATCH, SB_SHIFT};
-use crate::descriptor::DescriptorPool;
+use crate::descriptor::{Descriptor, DescriptorPool};
+use crate::harden::{Hardening, MisuseCounters, QUARANTINE_CAP};
 use crate::heap::{heap_index, ProcHeap};
 use crate::partial::PartialList;
 use crate::size_classes::{class_index, class_index_aligned, CLASS_SIZES, NUM_CLASSES};
 use core::ptr::NonNull;
 use core::sync::atomic::{AtomicUsize, Ordering};
 use hazard::HazardDomain;
+use lockfree_structs::BoundedQueue;
 use malloc_api::{AllocStats, RawMalloc};
-use osmem::{CountingSource, PagePool, PageSource, SystemSource};
+use osmem::{CountingSource, PagePool, PageSource, SpanRegistry, SystemSource};
 use std::alloc::{GlobalAlloc, Layout, System};
+
+/// A quarantined small block: `(block start, descriptor address)`.
+pub(crate) type QuarantineEntry = (usize, usize);
 
 /// Per-size-class state: the partial-superblock list plus the class
 /// geometry (paper Figure 3's `sizeclass`).
@@ -53,6 +58,15 @@ pub(crate) struct Inner<S: PageSource> {
     pub large_live: AtomicUsize,
     /// Total OS bytes backing live large blocks (audit accounting).
     pub large_bytes: AtomicUsize,
+    /// Live large-block spans, the provenance registry hardened frees
+    /// consult. Populated only when `config.hardening != Off`.
+    pub large_spans: SpanRegistry,
+    /// Per-instance misuse accounting (always present; counts stay zero
+    /// with hardening off).
+    pub misuse: MisuseCounters,
+    /// `nheaps` quarantine shards for freed small blocks, or null when
+    /// hardening is off. System-allocated.
+    pub quarantine: *mut BoundedQueue<QuarantineEntry>,
 }
 
 impl<S: PageSource> Inner<S> {
@@ -170,9 +184,45 @@ impl<S: PageSource> LfMalloc<S> {
                     heaps.add(ci * nheaps + h).write(ProcHeap::new(ci));
                 }
             }
+            // Hardened instances get one quarantine ring per heap.
+            let mut quarantine: *mut BoundedQueue<QuarantineEntry> = core::ptr::null_mut();
+            if config.hardening != Hardening::Off {
+                let q_layout = Layout::array::<BoundedQueue<QuarantineEntry>>(nheaps)
+                    .map_err(|_| OutOfMemory)?;
+                quarantine = System.alloc(q_layout) as *mut BoundedQueue<QuarantineEntry>;
+                if quarantine.is_null() {
+                    System.dealloc(heaps as *mut u8, heaps_layout);
+                    return Err(OutOfMemory);
+                }
+                for i in 0..nheaps {
+                    match BoundedQueue::new(QUARANTINE_CAP) {
+                        Some(q) => quarantine.add(i).write(q),
+                        None => {
+                            for j in 0..i {
+                                core::ptr::drop_in_place(quarantine.add(j));
+                            }
+                            System.dealloc(quarantine as *mut u8, q_layout);
+                            System.dealloc(heaps as *mut u8, heaps_layout);
+                            return Err(OutOfMemory);
+                        }
+                    }
+                }
+            }
+            let free_quarantine = |q: *mut BoundedQueue<QuarantineEntry>| {
+                if !q.is_null() {
+                    for i in 0..nheaps {
+                        core::ptr::drop_in_place(q.add(i));
+                    }
+                    System.dealloc(
+                        q as *mut u8,
+                        Layout::array::<BoundedQueue<QuarantineEntry>>(nheaps).unwrap(),
+                    );
+                }
+            };
             let inner_layout = Layout::new::<Inner<S>>();
             let inner = System.alloc(inner_layout) as *mut Inner<S>;
             if inner.is_null() {
+                free_quarantine(quarantine);
                 System.dealloc(heaps as *mut u8, heaps_layout);
                 return Err(OutOfMemory);
             }
@@ -190,6 +240,9 @@ impl<S: PageSource> LfMalloc<S> {
                 }),
                 large_live: AtomicUsize::new(0),
                 large_bytes: AtomicUsize::new(0),
+                large_spans: SpanRegistry::new(),
+                misuse: MisuseCounters::new(),
+                quarantine,
             });
             // The FIFO partial lists allocate their dummy nodes now that
             // the domain has a stable address.
@@ -229,6 +282,37 @@ impl<S: PageSource> LfMalloc<S> {
         self.inner().desc_pool.reserve_len()
     }
 
+    /// This instance's misuse detections (all zero unless
+    /// [`Config::hardening`](crate::config::Config) is `Detect` or
+    /// `Abort`). The process-wide aggregate is
+    /// [`harden::process_misuse_counters`](crate::harden::process_misuse_counters).
+    pub fn misuse_counters(&self) -> &MisuseCounters {
+        &self.inner().misuse
+    }
+
+    /// Releases every quarantined block back into circulation (after
+    /// verifying its poison), returning how many were released. No-op
+    /// when hardening is off. Safe to call concurrently with
+    /// malloc/free — the quarantine rings are MPMC and the release path
+    /// is the ordinary lock-free free.
+    pub fn flush_quarantine(&self) -> usize {
+        let inner = self.inner();
+        if inner.quarantine.is_null() {
+            return 0;
+        }
+        let mut released = 0;
+        for i in 0..inner.nheaps {
+            let shard = unsafe { &*inner.quarantine.add(i) };
+            while let Some((block, desc)) = shard.pop() {
+                unsafe {
+                    crate::harden::release_quarantined(inner, block, desc as *mut Descriptor)
+                };
+                released += 1;
+            }
+        }
+        released
+    }
+
     /// Returns all reclaimable memory to the OS: uninstalls idle active
     /// superblocks, prunes empty descriptors out of the partial
     /// structures, flushes the hazard domain, then unmaps every fully
@@ -251,6 +335,10 @@ impl<S: PageSource> LfMalloc<S> {
     /// Same quiescence contract as [`trim`](Self::trim).
     pub unsafe fn trim_to(&self, target_bytes: usize) -> usize {
         let inner = self.inner();
+        // 0. Hardened mode: quarantined blocks pin their superblocks
+        //    partially allocated; release them before hunting for fully
+        //    free hyperblocks.
+        self.flush_quarantine();
         // 1. Uninstall every idle active superblock. An installed ACTIVE
         //    superblock's Active word pins credits+1 reserved blocks, so
         //    a drained (class, heap) pair otherwise holds its hyperblock
@@ -403,6 +491,11 @@ impl<S: PageSource> LfMalloc<S> {
             return;
         }
         let inner = self.inner();
+        if inner.config.hardening != Hardening::Off {
+            // The validated path establishes provenance before touching
+            // any memory; misuse is reported, never executed.
+            return unsafe { crate::harden::free_hardened(inner, ptr) };
+        }
         // Read the prefix: a descriptor pointer (even) or the
         // large-block marker (odd).
         let prefix = unsafe {
@@ -465,6 +558,21 @@ impl<S: PageSource> Drop for LfMalloc<S> {
             core::ptr::drop_in_place(core::ptr::addr_of_mut!((*inner).sb_pool));
             core::ptr::drop_in_place(core::ptr::addr_of_mut!((*inner).classes));
             core::ptr::drop_in_place(core::ptr::addr_of_mut!((*inner).source));
+            core::ptr::drop_in_place(core::ptr::addr_of_mut!((*inner).large_spans));
+            // Quarantine entries are plain addresses into memory already
+            // released above; dropping the rings only frees their
+            // buffers.
+            let quarantine = (*inner).quarantine;
+            if !quarantine.is_null() {
+                let nheaps = (*inner).nheaps;
+                for i in 0..nheaps {
+                    core::ptr::drop_in_place(quarantine.add(i));
+                }
+                System.dealloc(
+                    quarantine as *mut u8,
+                    Layout::array::<BoundedQueue<QuarantineEntry>>(nheaps).unwrap(),
+                );
+            }
             // 4. Free the heap table and the instance block (plain data).
             let nheaps = (*inner).nheaps;
             let heaps_layout = Layout::array::<ProcHeap>(NUM_CLASSES * nheaps).unwrap();

@@ -64,6 +64,7 @@ pub mod config;
 pub mod descriptor;
 pub mod free_impl;
 pub mod global;
+pub mod harden;
 pub mod heap;
 pub mod instance;
 pub mod large;
@@ -74,4 +75,5 @@ pub mod size_classes;
 pub use audit::{AuditReport, AuditViolation};
 pub use config::{Config, HeapMode, PartialMode};
 pub use global::GlobalLfMalloc;
+pub use harden::{process_misuse_counters, Hardening, MisuseCounters, MisuseKind, MisuseReport};
 pub use instance::{LfMalloc, OutOfMemory};

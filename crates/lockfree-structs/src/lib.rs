@@ -21,6 +21,9 @@
 //!   (SPAA 2002, the paper's ref [16]) with hazard-pointer reclamation
 //!   and mid-list removal — the basis of the paper's LIFO partial-list
 //!   variant and of lock-free hash tables.
+//! * [`mpmc`] — Vyukov's bounded MPMC array queue, the fixed-capacity
+//!   ring behind the hardened allocator's free-block quarantine (not
+//!   strictly lock-free; see the module docs for the caveat).
 //! * [`backoff`] — bounded exponential backoff for CAS retry loops.
 //! * [`pad`] — cache-line padding to keep unrelated hot words from
 //!   false sharing.
@@ -55,6 +58,7 @@ pub(crate) fn fp(_name: &'static str) -> FpNone {
 
 pub mod backoff;
 pub mod list;
+pub mod mpmc;
 pub mod pad;
 pub mod queue;
 pub mod stack;
@@ -62,6 +66,7 @@ pub mod tagptr;
 
 pub use backoff::Backoff;
 pub use list::OrderedSet;
+pub use mpmc::BoundedQueue;
 pub use pad::CachePadded;
 pub use queue::Queue;
 pub use stack::{HpStack, Intrusive, TaggedStack};

@@ -1,0 +1,257 @@
+//! Bounded multi-producer/multi-consumer ring (Vyukov's array queue).
+//!
+//! The hardened allocator's quarantine needs a fixed-capacity FIFO that
+//! many freeing threads can push to and any thread can evict from, with
+//! no allocation after construction (the buffer comes from the *system*
+//! allocator, never the allocator under construction — the same
+//! no-recursion rule as every other structure in this crate).
+//!
+//! Each cell carries a sequence number: producers claim a cell when
+//! `seq == tail`, consumers when `seq == head + 1`; after use each side
+//! bumps the cell's sequence a full lap ahead for the other. One caveat
+//! inherited from the original design: the queue is *not* strictly
+//! lock-free — a producer that claims a cell and stalls before
+//! publishing delays the consumer of that cell (every other cell stays
+//! usable). That is acceptable for the quarantine, a best-effort debug
+//! aid that is off on the default hot path; the allocator's correctness
+//! structures (stacks, queue, lists) remain the lock-free ones.
+
+use core::cell::UnsafeCell;
+use core::mem::MaybeUninit;
+use core::sync::atomic::{AtomicUsize, Ordering};
+use std::alloc::{GlobalAlloc, Layout, System};
+
+struct Cell<T> {
+    seq: AtomicUsize,
+    val: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A fixed-capacity MPMC FIFO. See the module docs.
+///
+/// # Example
+///
+/// ```
+/// use lockfree_structs::BoundedQueue;
+///
+/// let q: BoundedQueue<u32> = BoundedQueue::new(4).unwrap();
+/// assert!(q.push(1).is_ok());
+/// assert!(q.push(2).is_ok());
+/// assert_eq!(q.pop(), Some(1));
+/// assert_eq!(q.pop(), Some(2));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct BoundedQueue<T> {
+    buf: *mut Cell<T>,
+    mask: usize,
+    head: crate::CachePadded<AtomicUsize>,
+    tail: crate::CachePadded<AtomicUsize>,
+}
+
+unsafe impl<T: Send> Send for BoundedQueue<T> {}
+unsafe impl<T: Send> Sync for BoundedQueue<T> {}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding up to `capacity` items (rounded up to a power of
+    /// two, minimum 2). Returns `None` if the system allocator refuses
+    /// the buffer.
+    pub fn new(capacity: usize) -> Option<Self> {
+        let cap = capacity.max(2).next_power_of_two();
+        let layout = Layout::array::<Cell<T>>(cap).ok()?;
+        let buf = unsafe { System.alloc(layout) } as *mut Cell<T>;
+        if buf.is_null() {
+            return None;
+        }
+        for i in 0..cap {
+            unsafe {
+                (*buf.add(i)).seq = AtomicUsize::new(i);
+                // val stays uninitialized until a producer claims the cell.
+            }
+        }
+        Some(BoundedQueue {
+            buf,
+            mask: cap - 1,
+            head: crate::CachePadded::new(AtomicUsize::new(0)),
+            tail: crate::CachePadded::new(AtomicUsize::new(0)),
+        })
+    }
+
+    /// Capacity after power-of-two rounding.
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Items currently queued (a racy snapshot, exact when quiescent).
+    pub fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        tail.saturating_sub(head)
+    }
+
+    /// Whether the queue is empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `v`, or hands it back if the queue is full.
+    pub fn push(&self, v: T) -> Result<(), T> {
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let cell = unsafe { &*self.buf.add(pos & self.mask) };
+            let seq = cell.seq.load(Ordering::Acquire);
+            if seq == pos {
+                if self
+                    .tail
+                    .compare_exchange_weak(pos, pos + 1, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    unsafe { (*cell.val.get()).write(v) };
+                    cell.seq.store(pos + 1, Ordering::Release);
+                    return Ok(());
+                }
+                pos = self.tail.load(Ordering::Relaxed);
+            } else if seq < pos {
+                // The cell still holds an item a full lap behind: full.
+                return Err(v);
+            } else {
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues the oldest item, or `None` when empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let cell = unsafe { &*self.buf.add(pos & self.mask) };
+            let seq = cell.seq.load(Ordering::Acquire);
+            if seq == pos + 1 {
+                if self
+                    .head
+                    .compare_exchange_weak(pos, pos + 1, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    let v = unsafe { (*cell.val.get()).assume_init_read() };
+                    cell.seq.store(pos + self.mask + 1, Ordering::Release);
+                    return Some(v);
+                }
+                pos = self.head.load(Ordering::Relaxed);
+            } else if seq <= pos {
+                // Not yet published for this lap: empty.
+                return None;
+            } else {
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl<T> Drop for BoundedQueue<T> {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+        let layout = Layout::array::<Cell<T>>(self.mask + 1).expect("validated in new");
+        unsafe { System.dealloc(self.buf as *mut u8, layout) };
+    }
+}
+
+impl<T> core::fmt::Debug for BoundedQueue<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("BoundedQueue")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_capacity_bound() {
+        let q: BoundedQueue<usize> = BoundedQueue::new(8).unwrap();
+        assert_eq!(q.capacity(), 8);
+        for i in 0..8 {
+            assert!(q.push(i).is_ok());
+        }
+        assert_eq!(q.push(99), Err(99), "full queue hands the item back");
+        for i in 0..8 {
+            assert_eq!(q.pop(), Some(i), "FIFO order");
+        }
+        assert_eq!(q.pop(), None);
+        // Wraps around: reusable after a full drain.
+        assert!(q.push(42).is_ok());
+        assert_eq!(q.pop(), Some(42));
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        let q: BoundedQueue<u8> = BoundedQueue::new(5).unwrap();
+        assert_eq!(q.capacity(), 8);
+        let q: BoundedQueue<u8> = BoundedQueue::new(0).unwrap();
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    fn drop_releases_undrained_items() {
+        // Drop with items still queued must drop them (Arc counts prove it).
+        let probe = Arc::new(());
+        {
+            let q: BoundedQueue<Arc<()>> = BoundedQueue::new(4).unwrap();
+            for _ in 0..3 {
+                assert!(q.push(Arc::clone(&probe)).is_ok());
+            }
+            assert_eq!(Arc::strong_count(&probe), 4);
+        }
+        assert_eq!(Arc::strong_count(&probe), 1);
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        // 2 producers push distinct values, 2 consumers drain; every value
+        // comes out exactly once.
+        const PER_THREAD: usize = 20_000;
+        let q = Arc::new(BoundedQueue::<usize>::new(64).unwrap());
+        let seen = Arc::new((0..2 * PER_THREAD).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>());
+        let consumed = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for t in 0..2 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    let mut v = t * PER_THREAD + i;
+                    loop {
+                        match q.push(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        for _ in 0..2 {
+            let q = Arc::clone(&q);
+            let seen = Arc::clone(&seen);
+            let consumed = Arc::clone(&consumed);
+            handles.push(std::thread::spawn(move || {
+                while consumed.load(Ordering::Acquire) < 2 * PER_THREAD {
+                    if let Some(v) = q.pop() {
+                        assert_eq!(seen[v].fetch_add(1, Ordering::AcqRel), 0, "duplicate {v}");
+                        consumed.fetch_add(1, Ordering::AcqRel);
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for (v, c) in seen.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Acquire), 1, "value {v} lost");
+        }
+    }
+}

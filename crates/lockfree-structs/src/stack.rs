@@ -321,14 +321,13 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for _ in 0..OPS {
                     if let Some(r) = unsafe { s.pop() } {
-                        let canary = unsafe { &*((r + 8) as *const AtomicUsize) };
-                        assert_eq!(
-                            canary.swap(1, Ordering::AcqRel),
-                            0,
-                            "region popped by two threads at once (ABA!)"
-                        );
-                        canary.store(0, Ordering::Release);
-                        unsafe { s.push(r) };
+                        unsafe {
+                            malloc_api::testkit::canary_claim_release(
+                                r + 8,
+                                "region popped by two threads at once (ABA!)",
+                            );
+                            s.push(r);
+                        }
                     }
                 }
             }));

@@ -72,7 +72,10 @@ pub unsafe trait RawMalloc: Sync {
     /// Allocates `size` bytes aligned to at least [`MIN_MALLOC_ALIGN`].
     ///
     /// Returns null on allocation failure. `size == 0` is allowed and
-    /// returns a valid, freeable, unique pointer (like glibc).
+    /// returns a valid, freeable, unique pointer (like glibc). Sizes so
+    /// large that internal rounding (headers, page alignment) would
+    /// overflow `usize` must fail cleanly with null — never wrap into a
+    /// small allocation or panic (`testkit::check_overflow` pins this).
     ///
     /// # Safety
     ///
@@ -97,7 +100,9 @@ pub unsafe trait RawMalloc: Sync {
     ///
     /// The default routes through `malloc` and is only correct for
     /// `align <= MIN_MALLOC_ALIGN`; allocators that support stronger
-    /// alignment override this.
+    /// alignment override this. Requests whose `size`/`align`
+    /// combination cannot be represented (overflow during rounding)
+    /// must return null, never wrap.
     ///
     /// # Safety
     ///

@@ -73,6 +73,25 @@ pub unsafe fn check_fill(p: *mut u8, size: usize) {
     }
 }
 
+/// Claims an exclusive-ownership canary word at `addr` and immediately
+/// releases it: the word must be 0 (unclaimed), is swapped to 1, checked,
+/// and stored back to 0. Two threads holding the "same" resource at once
+/// (ABA, double-allocation, duplicated pop) trip the assertion with
+/// `msg`. Shared by the concurrency tests in `lockfree-structs` and
+/// `osmem` that used to carry copy-pasted canary blocks.
+///
+/// # Safety
+///
+/// `addr` must point to an 8-aligned `usize` word that is writable, was
+/// zero before the resource first circulated, and is used only through
+/// this helper while the resource is shared.
+pub unsafe fn canary_claim_release(addr: usize, msg: &str) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let canary = unsafe { &*(addr as *const AtomicUsize) };
+    assert_eq!(canary.swap(1, Ordering::AcqRel), 0, "{msg}");
+    canary.store(0, Ordering::Release);
+}
+
 /// Basic single-thread contract: varied sizes round-trip, results are
 /// non-null, aligned, distinct while live, and data is preserved.
 pub fn check_basic<A: RawMalloc>(alloc: &A) {
@@ -112,6 +131,26 @@ pub fn check_zero_size<A: RawMalloc>(alloc: &A) {
         alloc.free(b);
         // Null free is a no-op.
         alloc.free(core::ptr::null_mut());
+    }
+}
+
+/// Overflow-adjacent requests fail cleanly (null), never wrap into a
+/// small allocation or panic: sizes near `usize::MAX` and absurd
+/// alignments must all be refused.
+pub fn check_overflow<A: RawMalloc>(alloc: &A) {
+    unsafe {
+        for &sz in &[usize::MAX, usize::MAX - 7, usize::MAX - 4096, usize::MAX / 2 + 1] {
+            let p = alloc.malloc(sz);
+            assert!(p.is_null(), "malloc({sz:#x}) must fail cleanly, got {p:p}");
+        }
+        for &(sz, align) in &[
+            (usize::MAX, 4096usize),
+            (8usize, 1usize << 63),
+            (usize::MAX / 2 + 1, 1usize << 32),
+        ] {
+            let p = alloc.malloc_aligned(sz, align);
+            assert!(p.is_null(), "malloc_aligned({sz:#x}, {align:#x}) must fail cleanly");
+        }
     }
 }
 
@@ -266,6 +305,7 @@ pub fn check_remote_free<A: RawMalloc + Send + Sync + 'static>(
 pub fn check_all<A: RawMalloc + Send + Sync + 'static>(alloc: Arc<A>) {
     check_basic(&*alloc);
     check_zero_size(&*alloc);
+    check_overflow(&*alloc);
     check_large(&*alloc);
     check_free_orders(&*alloc, 42);
     check_churn(&*alloc, 128, 2_000, 7);

@@ -22,7 +22,9 @@
 //! recursion. The algorithmic content above this layer is unchanged.
 
 pub mod pool;
+pub mod registry;
 pub mod source;
 
 pub use pool::PagePool;
+pub use registry::SpanRegistry;
 pub use source::{CountingSource, FlakySource, PageSource, SystemSource, PAGE_SIZE};

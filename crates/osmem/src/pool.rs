@@ -134,6 +134,32 @@ impl<const SHIFT: u32> PagePool<SHIFT> {
         self.hyperblock_count() * (self.batch << SHIFT)
     }
 
+    /// Whether `addr` lies inside any hyperblock this pool has mapped —
+    /// the provenance question hardened frees ask before dereferencing a
+    /// block prefix. Lock-free and allocation-free: walks the registry
+    /// list, which is only mutated under the pool's quiescence contracts
+    /// (`trim`/`release_all`), so a concurrent walk sees a valid chain.
+    pub fn owns(&self, addr: usize) -> bool {
+        self.owning_region(addr).is_some()
+    }
+
+    /// Like [`owns`](Self::owns), but returns the owning hyperblock's
+    /// `(base, bytes)` extent so callers can compute in-region offsets
+    /// (hardened frees validate descriptor-pointer stride this way).
+    /// Same lock-free, allocation-free registry walk.
+    pub fn owning_region(&self, addr: usize) -> Option<(usize, usize)> {
+        let mut p = self.hypers.load(Ordering::Acquire);
+        while !p.is_null() {
+            let rec = unsafe { &*p };
+            let base = rec.base as usize;
+            if addr >= base && addr < base + rec.bytes {
+                return Some((base, rec.bytes));
+            }
+            p = rec.next;
+        }
+        None
+    }
+
     /// Snapshot of the hyperblock registry as `(base, bytes)` pairs.
     /// The registry is append-only until [`release_all`](Self::release_all),
     /// so a concurrent call sees a valid prefix of registrations.
@@ -334,6 +360,27 @@ mod tests {
     }
 
     #[test]
+    fn owns_tracks_hyperblock_extents() {
+        let src = CountingSource::new(SystemSource::new());
+        let pool = SbPool::new(4);
+        assert!(!pool.owns(0x1000), "empty pool owns nothing");
+        let r = pool.alloc(&src);
+        assert!(!r.is_null());
+        let addr = r as usize;
+        assert!(pool.owns(addr));
+        assert!(pool.owns(addr + SbPool::REGION_SIZE), "sibling region of the same hyperblock");
+        assert!(!pool.owns(addr.wrapping_sub(1)));
+        let stack_local = 0u8;
+        assert!(!pool.owns(&stack_local as *const u8 as usize), "foreign memory is not owned");
+        unsafe {
+            pool.dealloc(r);
+            pool.trim(&src);
+        }
+        assert!(!pool.owns(addr), "trimmed hyperblocks are forgotten");
+        unsafe { pool.release_all(&src) };
+    }
+
+    #[test]
     fn trim_unmaps_only_fully_free_hyperblocks() {
         let src = CountingSource::new(SystemSource::new());
         let pool = SbPool::new(4);
@@ -411,9 +458,10 @@ mod tests {
                     // Exclusive-ownership canary in the second word (the
                     // first is the free-list link).
                     unsafe {
-                        let canary = &*((r as usize + 8) as *const AtomicUsize);
-                        assert_eq!(canary.swap(1, Ordering::AcqRel), 0, "region double-allocated");
-                        canary.store(0, Ordering::Release);
+                        malloc_api::testkit::canary_claim_release(
+                            r as usize + 8,
+                            "region double-allocated",
+                        );
                         pool.dealloc(r);
                     }
                 }

@@ -1,0 +1,287 @@
+//! Lock-free span registry: the large-block side of hardened-free
+//! provenance.
+//!
+//! Small blocks prove their provenance through the superblock hyperblock
+//! registry ([`PagePool::owns`](crate::PagePool::owns)) plus descriptor
+//! validation; large blocks go straight to the page source, so the
+//! hardened allocator records each one here as a `(base, bytes)` span.
+//! A free is then answered in three steps: *is this address inside a
+//! registered span* (`span_containing`), *is it the span's real user
+//! pointer* (prefix check, done by the caller), and *am I the first to
+//! free it* (`remove`, a CAS — the loser of a double-free race gets
+//! `false` and reports instead of double-unmapping).
+//!
+//! The registry is a chain of fixed-size segments allocated from the
+//! *system* allocator (like the pool's `HyperRecord`s, never from the
+//! allocator being built). Segments are appended when full and only
+//! reclaimed on drop, so readers can walk the chain without hazard
+//! pointers: a published segment never disappears. Slots are recycled
+//! in place via CAS on the base word.
+
+use core::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::alloc::{GlobalAlloc, Layout, System};
+
+/// Spans per segment; a segment is ~1 KiB, and each one covers 64 live
+/// large blocks, so chains stay short in practice.
+const SLOTS_PER_SEGMENT: usize = 64;
+
+struct Slot {
+    /// Span base address; 0 = empty. Claimed empty→full by `insert`'s
+    /// CAS, full→empty by `remove`'s CAS (the double-free arbiter).
+    base: AtomicUsize,
+    /// Span length in bytes; written before `base` is published.
+    bytes: AtomicUsize,
+}
+
+struct Segment {
+    slots: [Slot; SLOTS_PER_SEGMENT],
+    next: *mut Segment,
+}
+
+/// Lock-free registry of `(base, bytes)` spans. See the module docs.
+#[derive(Debug)]
+pub struct SpanRegistry {
+    head: AtomicPtr<Segment>,
+    len: AtomicUsize,
+}
+
+unsafe impl Send for SpanRegistry {}
+unsafe impl Sync for SpanRegistry {}
+
+impl SpanRegistry {
+    /// An empty registry. Allocates nothing until the first `insert`.
+    pub const fn new() -> Self {
+        SpanRegistry { head: AtomicPtr::new(core::ptr::null_mut()), len: AtomicUsize::new(0) }
+    }
+
+    /// Registers the span `[base, base + bytes)`. Returns `false` only
+    /// when a fresh segment was needed and the system allocator refused —
+    /// callers treat that as OOM for the allocation being registered, so
+    /// the registry never silently under-covers (`base` and `bytes` must
+    /// be nonzero).
+    pub fn insert(&self, base: usize, bytes: usize) -> bool {
+        debug_assert!(base != 0 && bytes != 0);
+        loop {
+            let mut seg = self.head.load(Ordering::Acquire);
+            let first = seg;
+            while !seg.is_null() {
+                let s = unsafe { &*seg };
+                for slot in &s.slots {
+                    if slot.base.load(Ordering::Relaxed) == 0 {
+                        // Publish bytes first so any reader that wins the
+                        // base load sees a coherent pair.
+                        slot.bytes.store(bytes, Ordering::Release);
+                        if slot
+                            .base
+                            .compare_exchange(0, base, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                        {
+                            self.len.fetch_add(1, Ordering::AcqRel);
+                            return true;
+                        }
+                    }
+                }
+                seg = s.next;
+            }
+            // Every slot in every segment is taken: prepend a new segment
+            // with the span pre-installed in slot 0.
+            let raw = unsafe { System.alloc_zeroed(Layout::new::<Segment>()) } as *mut Segment;
+            if raw.is_null() {
+                return false;
+            }
+            unsafe {
+                (*raw).slots[0].bytes.store(bytes, Ordering::Relaxed);
+                (*raw).slots[0].base.store(base, Ordering::Relaxed);
+                (*raw).next = first;
+            }
+            if self
+                .head
+                .compare_exchange(first, raw, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.len.fetch_add(1, Ordering::AcqRel);
+                return true;
+            }
+            // Lost the prepend race: another thread published a segment
+            // (with free slots). Give this one back and rescan.
+            unsafe { System.dealloc(raw as *mut u8, Layout::new::<Segment>()) };
+        }
+    }
+
+    /// Unregisters the span starting at exactly `base`. Returns `true`
+    /// for the (single) caller that wins the CAS; a concurrent or
+    /// repeated remove of the same span gets `false` — the double-free
+    /// signal.
+    pub fn remove(&self, base: usize) -> bool {
+        let mut seg = self.head.load(Ordering::Acquire);
+        while !seg.is_null() {
+            let s = unsafe { &*seg };
+            for slot in &s.slots {
+                if slot.base.load(Ordering::Acquire) == base
+                    && slot
+                        .base
+                        .compare_exchange(base, 0, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                {
+                    self.len.fetch_sub(1, Ordering::AcqRel);
+                    return true;
+                }
+            }
+            seg = s.next;
+        }
+        false
+    }
+
+    /// The registered span containing `addr`, if any, as `(base, bytes)`.
+    ///
+    /// Best-effort under concurrent slot recycling (a slot observed
+    /// mid-reuse is re-checked and skipped on mismatch); exact whenever
+    /// the span owning `addr` is not being concurrently inserted or
+    /// removed — which is the case for any pointer it is legal to free.
+    pub fn span_containing(&self, addr: usize) -> Option<(usize, usize)> {
+        let mut seg = self.head.load(Ordering::Acquire);
+        while !seg.is_null() {
+            let s = unsafe { &*seg };
+            for slot in &s.slots {
+                let base = slot.base.load(Ordering::Acquire);
+                if base != 0 {
+                    let bytes = slot.bytes.load(Ordering::Acquire);
+                    // Reject torn (base, bytes) pairs from slot reuse.
+                    if slot.base.load(Ordering::Acquire) == base
+                        && addr >= base
+                        && addr - base < bytes
+                    {
+                        return Some((base, bytes));
+                    }
+                }
+            }
+            seg = s.next;
+        }
+        None
+    }
+
+    /// Number of spans currently registered.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether no spans are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for SpanRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for SpanRegistry {
+    fn drop(&mut self) {
+        let mut seg = *self.head.get_mut();
+        while !seg.is_null() {
+            let next = unsafe { (*seg).next };
+            unsafe { System.dealloc(seg as *mut u8, Layout::new::<Segment>()) };
+            seg = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_lookup_remove_roundtrip() {
+        let r = SpanRegistry::new();
+        assert!(r.is_empty());
+        assert!(r.insert(0x10_000, 0x2000));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.span_containing(0x10_000), Some((0x10_000, 0x2000)));
+        assert_eq!(r.span_containing(0x11_FFF), Some((0x10_000, 0x2000)));
+        assert_eq!(r.span_containing(0x12_000), None, "end is exclusive");
+        assert_eq!(r.span_containing(0xF_FFF), None);
+        assert!(r.remove(0x10_000));
+        assert!(!r.remove(0x10_000), "second remove loses: the double-free signal");
+        assert!(r.is_empty());
+        assert_eq!(r.span_containing(0x10_000), None);
+    }
+
+    #[test]
+    fn grows_past_one_segment_and_recycles_slots() {
+        let r = SpanRegistry::new();
+        let n = SLOTS_PER_SEGMENT * 3 + 5;
+        for i in 0..n {
+            assert!(r.insert((i + 1) * 0x10_000, 0x1000));
+        }
+        assert_eq!(r.len(), n);
+        for i in 0..n {
+            assert_eq!(
+                r.span_containing((i + 1) * 0x10_000 + 0xFFF),
+                Some(((i + 1) * 0x10_000, 0x1000))
+            );
+        }
+        for i in 0..n {
+            assert!(r.remove((i + 1) * 0x10_000));
+        }
+        assert!(r.is_empty());
+        // Slots are reused in place: reinserting must not grow the chain
+        // unboundedly (indirectly checked by lookups still succeeding).
+        for i in 0..n {
+            assert!(r.insert((i + 1) * 0x10_000, 0x2000));
+        }
+        assert_eq!(r.span_containing(0x10_000 + 0x1FFF), Some((0x10_000, 0x2000)));
+        for i in 0..n {
+            assert!(r.remove((i + 1) * 0x10_000));
+        }
+    }
+
+    #[test]
+    fn concurrent_double_remove_has_one_winner() {
+        let r = Arc::new(SpanRegistry::new());
+        for round in 0..50 {
+            let base = (round + 1) * 0x100_000;
+            assert!(r.insert(base, 0x4000));
+            let barrier = Arc::new(std::sync::Barrier::new(4));
+            let wins: usize = (0..4)
+                .map(|_| {
+                    let r = Arc::clone(&r);
+                    let b = Arc::clone(&barrier);
+                    std::thread::spawn(move || {
+                        b.wait();
+                        r.remove(base) as usize
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum();
+            assert_eq!(wins, 1, "exactly one racer may win the remove CAS");
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn concurrent_insert_remove_churn() {
+        let r = Arc::new(SpanRegistry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        let base = (t + 1) * 0x1000_0000 + (i + 1) * 0x10_000;
+                        assert!(r.insert(base, 0x8000));
+                        assert_eq!(r.span_containing(base + 0x7FFF), Some((base, 0x8000)));
+                        assert!(r.remove(base));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(r.is_empty());
+    }
+}

@@ -37,6 +37,33 @@ pub unsafe trait PageSource: Sync {
     fn stats(&self) -> AllocStats {
         AllocStats::default()
     }
+
+    /// Changes the protection of `len` bytes at `ptr` (both multiples of
+    /// [`PAGE_SIZE`], inside a live run from this source): `readwrite ==
+    /// false` revokes all access (`PROT_NONE` guard page), `true`
+    /// restores read/write. Returns `true` on success; the default says
+    /// the source cannot protect pages, and callers degrade gracefully
+    /// (the hardened allocator falls back to canary-only guards).
+    ///
+    /// # Safety
+    ///
+    /// The range must lie within a live `alloc_pages` run, and the caller
+    /// must restore read/write before the run is deallocated.
+    unsafe fn protect_pages(&self, ptr: *mut u8, len: usize, readwrite: bool) -> bool {
+        let _ = (ptr, len, readwrite);
+        false
+    }
+}
+
+/// `mprotect` constants and binding (libc is linked by std on unix).
+#[cfg(unix)]
+mod mprotect_sys {
+    pub const PROT_NONE: i32 = 0;
+    pub const PROT_READ: i32 = 1;
+    pub const PROT_WRITE: i32 = 2;
+    unsafe extern "C" {
+        pub fn mprotect(addr: *mut core::ffi::c_void, len: usize, prot: i32) -> i32;
+    }
 }
 
 /// The default source: aligned runs from the *system* allocator.
@@ -68,6 +95,17 @@ unsafe impl PageSource for SystemSource {
     unsafe fn dealloc_pages(&self, ptr: *mut u8, size: usize, align: usize) {
         let layout = Layout::from_size_align(size, align).expect("layout validated at alloc");
         unsafe { System.dealloc(ptr, layout) };
+    }
+
+    #[cfg(unix)]
+    unsafe fn protect_pages(&self, ptr: *mut u8, len: usize, readwrite: bool) -> bool {
+        debug_assert!(is_aligned(ptr as usize, PAGE_SIZE) && is_aligned(len, PAGE_SIZE));
+        let prot = if readwrite {
+            mprotect_sys::PROT_READ | mprotect_sys::PROT_WRITE
+        } else {
+            mprotect_sys::PROT_NONE
+        };
+        unsafe { mprotect_sys::mprotect(ptr as *mut core::ffi::c_void, len, prot) == 0 }
     }
 }
 
@@ -132,6 +170,10 @@ unsafe impl<S: PageSource> PageSource for CountingSource<S> {
     fn stats(&self) -> AllocStats {
         self.counter.snapshot()
     }
+
+    unsafe fn protect_pages(&self, ptr: *mut u8, len: usize, readwrite: bool) -> bool {
+        unsafe { self.inner.protect_pages(ptr, len, readwrite) }
+    }
 }
 
 unsafe impl<S: PageSource + Send + Sync> PageSource for std::sync::Arc<S> {
@@ -144,6 +186,9 @@ unsafe impl<S: PageSource + Send + Sync> PageSource for std::sync::Arc<S> {
     fn stats(&self) -> AllocStats {
         (**self).stats()
     }
+    unsafe fn protect_pages(&self, ptr: *mut u8, len: usize, readwrite: bool) -> bool {
+        unsafe { (**self).protect_pages(ptr, len, readwrite) }
+    }
 }
 
 unsafe impl<S: PageSource> PageSource for &S {
@@ -155,6 +200,9 @@ unsafe impl<S: PageSource> PageSource for &S {
     }
     fn stats(&self) -> AllocStats {
         (**self).stats()
+    }
+    unsafe fn protect_pages(&self, ptr: *mut u8, len: usize, readwrite: bool) -> bool {
+        unsafe { (**self).protect_pages(ptr, len, readwrite) }
     }
 }
 
@@ -201,6 +249,23 @@ mod tests {
         assert_eq!(pages_for(0), PAGE_SIZE);
         assert_eq!(pages_for(4097), 2 * PAGE_SIZE);
         assert_eq!(pages_for(3 * PAGE_SIZE), 3 * PAGE_SIZE);
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn protect_pages_roundtrip() {
+        let s = CountingSource::new(SystemSource::new());
+        unsafe {
+            let p = s.alloc_pages(4 * PAGE_SIZE, PAGE_SIZE);
+            assert!(!p.is_null());
+            let guard = p.add(3 * PAGE_SIZE);
+            assert!(s.protect_pages(guard, PAGE_SIZE, false), "mprotect PROT_NONE failed");
+            // The unguarded prefix stays usable while the guard is armed.
+            core::ptr::write_bytes(p, 0x11, 3 * PAGE_SIZE);
+            assert!(s.protect_pages(guard, PAGE_SIZE, true), "mprotect restore failed");
+            core::ptr::write_bytes(guard, 0x22, PAGE_SIZE);
+            s.dealloc_pages(p, 4 * PAGE_SIZE, PAGE_SIZE);
+        }
     }
 
     #[test]
@@ -375,6 +440,13 @@ unsafe impl<S: PageSource> PageSource for FlakySource<S> {
 
     fn stats(&self) -> AllocStats {
         self.inner.stats()
+    }
+
+    // Protection changes are never failure-injected: like frees, they are
+    // on the *give back / contain* side of the contract, and blocking
+    // them would turn an injected OOM into a wild fault.
+    unsafe fn protect_pages(&self, ptr: *mut u8, len: usize, readwrite: bool) -> bool {
+        unsafe { self.inner.protect_pages(ptr, len, readwrite) }
     }
 }
 

@@ -25,11 +25,26 @@ use malloc_api::{AllocStats, RawMalloc};
 use osmem::{CountingSource, PageSource, SystemSource};
 use malloc_api::sync::{Mutex, RwLock};
 use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Bytes prepended to each block to record the owning arena (keeps user
 /// pointers 16-aligned).
 const OWNER_PREFIX: usize = 16;
+
+/// Salt for the owner-prefix checksum (the 64-bit golden-ratio
+/// constant; any fixed odd mixer works).
+const CHECKSUM_SALT: usize = 0x9E37_79B9_7F4A_7C15;
+
+/// Checksum stored in the second prefix word: ties the owner pointer to
+/// the block address. A double free fails this check reliably — the
+/// first free hands the chunk to `dlheap`, whose bin links overwrite
+/// both prefix words — and a mismatch is *counted and rejected* before
+/// the owner pointer is ever dereferenced.
+#[inline]
+fn owner_checksum(owner: usize, base: usize) -> usize {
+    owner ^ base ^ CHECKSUM_SALT
+}
 
 /// One arena: a serial heap behind its own lock.
 struct Arena<S: PageSource> {
@@ -65,6 +80,9 @@ thread_local! {
 pub struct Ptmalloc<S: PageSource = CountingSource<SystemSource>> {
     arenas: RwLock<Vec<Arc<Arena<S>>>>,
     source: Arc<S>,
+    /// Frees rejected by the owner-prefix checksum (double frees and
+    /// corrupted prefixes).
+    misuse: AtomicU64,
 }
 
 impl Ptmalloc<CountingSource<SystemSource>> {
@@ -84,7 +102,7 @@ impl<S: PageSource + Send + Sync> Ptmalloc<S> {
     /// Builds the allocator over an injected page source.
     pub fn with_source(source: Arc<S>) -> Self {
         let main = Arena::new(Arc::clone(&source));
-        Ptmalloc { arenas: RwLock::new(vec![main]), source }
+        Ptmalloc { arenas: RwLock::new(vec![main]), source, misuse: AtomicU64::new(0) }
     }
 
     /// Number of arenas created so far. The paper reports this as a
@@ -97,6 +115,12 @@ impl<S: PageSource + Send + Sync> Ptmalloc<S> {
     /// The page source (for stats).
     pub fn source(&self) -> &Arc<S> {
         &self.source
+    }
+
+    /// Frees rejected because the owner-prefix checksum did not match
+    /// (double frees, foreign pointers, corrupted prefixes).
+    pub fn misuse_count(&self) -> u64 {
+        self.misuse.load(Ordering::Relaxed)
     }
 
     /// Allocates via the paper's arena discipline: last-used arena
@@ -150,7 +174,9 @@ impl<S: PageSource + Send + Sync> Ptmalloc<S> {
     /// `free` takes `&self`, so the owner outlives every block.
     unsafe fn finish(&self, p: *mut u8, arena: &Arc<Arena<S>>) -> *mut u8 {
         unsafe {
-            (p as *mut usize).write(Arc::as_ptr(arena) as usize);
+            let owner = Arc::as_ptr(arena) as usize;
+            (p as *mut usize).write(owner);
+            (p as *mut usize).add(1).write(owner_checksum(owner, p as usize));
             p.add(OWNER_PREFIX)
         }
     }
@@ -167,7 +193,16 @@ unsafe impl<S: PageSource + Send + Sync> RawMalloc for Ptmalloc<S> {
         }
         unsafe {
             let base = ptr.sub(OWNER_PREFIX);
-            let owner = (base as *const usize).read() as *const Arena<S>;
+            let owner = (base as *const usize).read();
+            let checksum = (base as *const usize).add(1).read();
+            // Validate the prefix *before* dereferencing the owner: a
+            // stale or corrupted prefix would otherwise be followed as a
+            // pointer into a lock.
+            if checksum != owner_checksum(owner, base as usize) {
+                self.misuse.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            let owner = owner as *const Arena<S>;
             // "the thread must acquire that arena's lock" — a remote
             // free blocks on the owner's lock, the contention source the
             // paper measures in Larson and producer-consumer.
@@ -271,6 +306,26 @@ mod tests {
             a.free(p2);
         }
         assert_eq!(a.arena_count(), 1);
+    }
+
+    #[test]
+    fn double_free_is_rejected_by_checksum() {
+        let a = Ptmalloc::new();
+        unsafe {
+            let p = a.malloc(64);
+            assert!(!p.is_null());
+            a.free(p);
+            // The first free handed the chunk to dlheap, whose bin links
+            // overwrote both prefix words; the second free must fail the
+            // checksum and be counted, not followed into a stale arena.
+            a.free(p);
+            assert_eq!(a.misuse_count(), 1);
+            // The heap stays usable afterwards.
+            let q = a.malloc(64);
+            assert!(!q.is_null());
+            a.free(q);
+        }
+        assert_eq!(a.misuse_count(), 1);
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Hardened-mode walkthrough: provoke every misuse class against a
+//! `Hardening::Detect` instance and watch the reports arrive while the
+//! heap stays intact (DESIGN.md §8).
+//!
+//! ```sh
+//! cargo run --release --example hardening_demo
+//! ```
+
+use lfmalloc_repro::prelude::*;
+
+fn main() {
+    let a = LfMalloc::with_config(Config::detect().with_hardening(Hardening::Detect));
+    let c = a.misuse_counters();
+
+    println!("== invalid free ==");
+    unsafe {
+        let p = a.malloc(64);
+        core::ptr::write_bytes(p, 0xAB, 64);
+        a.free(p.add(8)); // interior pointer
+        let local = 0u64;
+        a.free(&local as *const u64 as *mut u8); // stack address
+        a.free(p); // the real block still frees fine
+    }
+    println!("   InvalidFree x{}: {}", c.count(MisuseKind::InvalidFree), c.last_report().unwrap());
+
+    println!("== double free ==");
+    unsafe {
+        let p = a.malloc(48);
+        a.free(p);
+        a.free(p);
+    }
+    println!("   DoubleFree x{}: {}", c.count(MisuseKind::DoubleFree), c.last_report().unwrap());
+
+    println!("== use-after-free write ==");
+    unsafe {
+        let p = a.malloc(256);
+        a.free(p); // poisoned + quarantined
+        p.write(7); // dangling write through the stale pointer
+    }
+    let flushed = a.flush_quarantine(); // re-verifies poison on the way out
+    println!(
+        "   flushed {flushed} quarantined block(s); PoisonViolation x{}: {}",
+        c.count(MisuseKind::PoisonViolation),
+        c.last_report().unwrap()
+    );
+
+    println!("== large-block guard overrun ==");
+    unsafe {
+        let p = a.malloc(100_000);
+        let usable = a.usable_size(p);
+        p.add(usable).write(0); // lands on the canary page
+        a.free(p);
+    }
+    println!("   GuardOverrun x{}: {}", c.count(MisuseKind::GuardOverrun), c.last_report().unwrap());
+
+    let report = a.audit();
+    println!(
+        "\n{} total report(s); audit after all of the above: {}",
+        c.total(),
+        if report.is_clean() { "clean" } else { "VIOLATIONS" }
+    );
+    assert!(report.is_clean());
+    assert_eq!(c.total(), 5);
+    println!("ok");
+}

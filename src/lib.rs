@@ -41,7 +41,10 @@ pub use workloads;
 pub mod prelude {
     pub use dlheap::LockedHeap;
     pub use hoard::Hoard;
-    pub use lfmalloc::{Config, GlobalLfMalloc, HeapMode, LfMalloc, PartialMode};
+    pub use lfmalloc::{
+        Config, GlobalLfMalloc, Hardening, HeapMode, LfMalloc, MisuseKind, MisuseReport,
+        PartialMode,
+    };
     pub use malloc_api::{AllocStats, RawMalloc};
     pub use ptmalloc::Ptmalloc;
 }

@@ -79,6 +79,36 @@ fn producer_consumer_on_every_allocator() {
 }
 
 #[test]
+fn hardened_lfmalloc_rejects_foreign_allocator_pointers() {
+    // A block from another allocator freed into a hardened lfmalloc
+    // must be detected as an invalid free — not corrupt either heap —
+    // and must remain freeable by its real owner.
+    use lfmalloc_repro::lfmalloc::MisuseKind;
+    let lf = LfMalloc::with_config(Config::detect().with_hardening(Hardening::Detect));
+    let hoard = Hoard::new(2);
+    unsafe {
+        let p = hoard.malloc(64);
+        assert!(!p.is_null());
+        testkit::fill(p, 64);
+        lf.free(p);
+        assert_eq!(lf.misuse_counters().count(MisuseKind::InvalidFree), 1);
+        assert_eq!(lf.misuse_counters().total(), 1);
+        // Both heaps are unharmed: lfmalloc audits clean, the hoard
+        // block still carries its data and goes back to hoard.
+        assert!(lf.audit().is_clean(), "{:?}", lf.audit());
+        testkit::check_fill(p, 64);
+        hoard.free(p);
+        assert_eq!(hoard.misuse_count(), 0);
+        // And lfmalloc keeps serving allocations afterwards.
+        let q = lf.malloc(64);
+        assert!(!q.is_null());
+        lf.free(q);
+    }
+    lf.flush_quarantine();
+    assert!(lf.audit().is_clean());
+}
+
+#[test]
 fn blocks_from_different_allocators_are_independent() {
     // Interleave blocks from all four allocators; data must never
     // cross-contaminate and each block must go back to its own origin.
