@@ -2,7 +2,10 @@
 //! malloc as a function of thread count, for all six benchmarks (the
 //! producer-consumer panels f/g/h differ in the `work` parameter).
 //!
-//! Usage: `fig8 [a|b|c|d|e|f|g|h|all] [--max-threads N] [--scale F]`
+//! Usage: `fig8 [a|b|c|d|e|f|g|h|all] [--max-threads N] [--scale F]
+//! [--stats-json FILE]` (the last needs `--features stats`; it appends
+//! one JSON record per panel embedding the allocator's telemetry
+//! snapshot from an instrumented run at the maximum thread count).
 //!
 //! Hardware note (see EXPERIMENTS.md): the paper sweeps 1–16 *physical*
 //! processors; on this machine threads beyond the core count measure
@@ -19,6 +22,7 @@ fn main() {
     let mut max_threads = 8usize;
     let mut scale = 0.3f64;
     let mut reps = 2usize;
+    let mut stats_json: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -26,6 +30,10 @@ fn main() {
             "--max-threads" => {
                 i += 1;
                 max_threads = args[i].parse().expect("--max-threads takes an integer");
+            }
+            "--stats-json" => {
+                i += 1;
+                stats_json = Some(args[i].clone());
             }
             "--scale" => {
                 i += 1;
@@ -48,7 +56,7 @@ fn main() {
     }
     let scale = Scale(scale);
 
-    for panel in panels {
+    for &panel in &panels {
         let w = Workload::from_panel(panel).unwrap();
         println!("\nFigure 8({panel}): {} — speedup over contention-free libc", w.label());
         let baseline = run_workload_best(w, AllocatorKind::Libc, 1, 1, scale, reps);
@@ -68,4 +76,20 @@ fn main() {
          degrades under contention; ptmalloc trails on larson; hoard trails\n\
          on producer-consumer."
     );
+
+    if let Some(path) = &stats_json {
+        #[cfg(feature = "stats")]
+        {
+            let records: Vec<String> = panels
+                .iter()
+                .map(|&p| {
+                    let w = Workload::from_panel(p).unwrap();
+                    bench::stats_json_record("fig8", w, max_threads.max(2), max_threads, scale)
+                })
+                .collect();
+            bench::write_stats_json(path, &records);
+        }
+        #[cfg(not(feature = "stats"))]
+        bench::write_stats_json(path, &[]);
+    }
 }

@@ -2,7 +2,9 @@
 //! for Linux scalability, Threadtest, and Larson (one worker thread,
 //! after spawning a dead thread per the paper's footnote 4).
 //!
-//! Usage: `table1 [--scale F]` (default scale 1.0).
+//! Usage: `table1 [--scale F] [--stats-json FILE]` (the latter needs
+//! `--features stats`; it appends one JSON record per workload
+//! embedding the allocator's telemetry snapshot).
 
 use bench::table::{fmt_speedup, Table};
 use bench::sweep::run_workload_best;
@@ -21,10 +23,15 @@ fn paper_reference(w: Workload) -> (&'static str, &'static str, &'static str) {
 fn main() {
     let mut scale = 1.0f64;
     let mut reps = 3usize;
+    let mut stats_json: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--stats-json" => {
+                i += 1;
+                stats_json = Some(args[i].clone());
+            }
             "--scale" => {
                 i += 1;
                 scale = args[i].parse().expect("--scale takes a float");
@@ -83,4 +90,17 @@ fn main() {
         "shape check: 'new' should lead every row (paper: lowest contention-free\n\
          latency among the allocators by significant margins)."
     );
+
+    if let Some(path) = &stats_json {
+        #[cfg(feature = "stats")]
+        {
+            let records: Vec<String> = workloads
+                .iter()
+                .map(|&w| bench::stats_json_record("table1", w, 1, 1, scale))
+                .collect();
+            bench::write_stats_json(path, &records);
+        }
+        #[cfg(not(feature = "stats"))]
+        bench::write_stats_json(path, &[]);
+    }
 }

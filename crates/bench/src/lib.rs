@@ -22,3 +22,47 @@ pub mod table;
 
 pub use registry::{make_allocator, AllocatorKind, DynAlloc};
 pub use sweep::{run_workload, Scale, Workload};
+
+/// Runs `w` once on an instrumented lock-free allocator and returns a
+/// one-line JSON record embedding the full telemetry snapshot — the
+/// payload behind the binaries' `--stats-json FILE` flag.
+#[cfg(feature = "stats")]
+pub fn stats_json_record(
+    bench: &str,
+    w: Workload,
+    heaps: usize,
+    threads: usize,
+    scale: Scale,
+) -> String {
+    let (alloc, lf) = registry::make_lf_instrumented(heaps);
+    let r = run_workload(w, alloc, threads, scale);
+    format!(
+        "{{\"bench\":\"{}\",\"workload\":\"{}\",\"threads\":{},\"ops\":{},\"ns_per_op\":{:.1},\"stats\":{}}}",
+        bench,
+        w.label(),
+        threads,
+        r.ops,
+        r.ns_per_op(),
+        lf.stats().to_json()
+    )
+}
+
+/// Appends newline-terminated `records` to `path` (creating it), or
+/// aborts with a rebuild hint when the `stats` feature is off.
+pub fn write_stats_json(path: &str, records: &[String]) {
+    #[cfg(feature = "stats")]
+    {
+        let mut body = records.join("\n");
+        body.push('\n');
+        std::fs::write(path, body)
+            .unwrap_or_else(|e| panic!("writing --stats-json file {path}: {e}"));
+        eprintln!("wrote {} telemetry record(s) to {path}", records.len());
+    }
+    #[cfg(not(feature = "stats"))]
+    {
+        let _ = (path, records);
+        eprintln!("--stats-json requires a stats-enabled build:");
+        eprintln!("    cargo run -p bench --features stats --bin ... -- --stats-json FILE");
+        std::process::exit(2);
+    }
+}

@@ -64,6 +64,15 @@ pub fn make_allocator(kind: AllocatorKind, heaps: usize) -> DynAlloc {
     }
 }
 
+/// Builds an instrumented lock-free allocator, returning both the
+/// type-erased handle (for the workload) and the concrete handle (so
+/// the caller can snapshot telemetry after the run).
+#[cfg(feature = "stats")]
+pub fn make_lf_instrumented(heaps: usize) -> (DynAlloc, Arc<LfMalloc>) {
+    let a = Arc::new(LfMalloc::with_config(Config::with_heaps(heaps)));
+    (Arc::clone(&a) as DynAlloc, a)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

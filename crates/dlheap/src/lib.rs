@@ -23,3 +23,7 @@ pub mod locked;
 
 pub use heap::SerialHeap;
 pub use locked::LockedHeap;
+#[cfg(feature = "stats")]
+pub use heap::SerialHeapStats;
+#[cfg(feature = "stats")]
+pub use locked::LockedHeapStats;

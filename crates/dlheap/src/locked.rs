@@ -34,6 +34,21 @@ use std::sync::Arc;
 pub struct LockedHeap<S: PageSource = CountingSource<SystemSource>> {
     heap: Mutex<SerialHeap<S>>,
     source: Arc<S>,
+    #[cfg(feature = "stats")]
+    locks: malloc_api::telemetry::Counter,
+}
+
+/// Snapshot of [`LockedHeap`]'s lock and heap-operation counters.
+#[cfg(feature = "stats")]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LockedHeapStats {
+    /// Global mutex acquisitions (one per malloc and per free — every
+    /// operation serializes here; the baseline's defining cost).
+    pub lock_acquisitions: u64,
+    /// Free chunks split by malloc.
+    pub splits: u64,
+    /// Boundary-tag merges performed by free.
+    pub coalesces: u64,
 }
 
 impl LockedHeap<CountingSource<SystemSource>> {
@@ -52,7 +67,26 @@ impl Default for LockedHeap<CountingSource<SystemSource>> {
 impl<S: PageSource> LockedHeap<S> {
     /// A locked heap over an injected source.
     pub fn with_source(source: Arc<S>) -> Self {
-        LockedHeap { heap: Mutex::new(SerialHeap::new(Arc::clone(&source))), source }
+        LockedHeap {
+            heap: Mutex::new(SerialHeap::new(Arc::clone(&source))),
+            source,
+            #[cfg(feature = "stats")]
+            locks: malloc_api::telemetry::Counter::new(),
+        }
+    }
+
+    /// Lock and split/coalesce counters.
+    ///
+    /// Named `lock_stats` (not `stats`) so it does not shadow
+    /// [`RawMalloc::stats`] on the concrete type.
+    #[cfg(feature = "stats")]
+    pub fn lock_stats(&self) -> LockedHeapStats {
+        let ops = self.heap.lock().op_stats();
+        LockedHeapStats {
+            lock_acquisitions: self.locks.get(),
+            splits: ops.splits,
+            coalesces: ops.coalesces,
+        }
     }
 
     /// The page source (for external stats queries).
@@ -73,10 +107,14 @@ impl<S: PageSource> LockedHeap<S> {
 
 unsafe impl<S: PageSource + Send + Sync> RawMalloc for LockedHeap<S> {
     unsafe fn malloc(&self, size: usize) -> *mut u8 {
+        #[cfg(feature = "stats")]
+        self.locks.inc();
         unsafe { self.heap.lock().malloc(size) }
     }
 
     unsafe fn free(&self, ptr: *mut u8) {
+        #[cfg(feature = "stats")]
+        self.locks.inc();
         unsafe { self.heap.lock().free(ptr) }
     }
 
@@ -116,6 +154,26 @@ mod tests {
         let p = unsafe { a.malloc(1000) };
         assert!(a.stats().peak_bytes > 0);
         unsafe { a.free(p) };
+    }
+
+    #[cfg(feature = "stats")]
+    #[test]
+    fn counters_track_lock_and_boundary_tag_traffic() {
+        let a = LockedHeap::new();
+        unsafe {
+            // Carve three blocks out of one segment (splits), then free
+            // them in reverse so neighbours merge back (coalesces).
+            let p1 = a.malloc(64);
+            let p2 = a.malloc(64);
+            let p3 = a.malloc(64);
+            a.free(p3);
+            a.free(p2);
+            a.free(p1);
+        }
+        let s = a.lock_stats();
+        assert_eq!(s.lock_acquisitions, 6, "got {s:?}");
+        assert!(s.splits >= 3, "got {s:?}");
+        assert!(s.coalesces >= 2, "got {s:?}");
     }
 
     #[test]

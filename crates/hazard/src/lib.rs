@@ -73,6 +73,34 @@ fn fp(name: &'static str) {
 #[inline(always)]
 fn fp(_name: &'static str) {}
 
+/// Reclamation telemetry, one set per [`HazardDomain`] (`stats` feature
+/// only): how often the retired set is scanned, how much each scan
+/// frees, and how deep any thread's retired queue has ever grown.
+#[cfg(feature = "stats")]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HazardStats {
+    /// Hazard-slot scans performed (threshold-triggered and explicit).
+    pub scans: u64,
+    /// Retired nodes handed to their reclamation function, cumulatively.
+    pub reclaimed: u64,
+    /// High-water mark of any single record's retired-queue depth.
+    pub retired_high_water: u64,
+    /// Histogram of nodes freed per scan (power-of-two buckets:
+    /// 0, 1, 2–3, 4–7, ..., 64+).
+    pub frees_per_scan: [u64; malloc_api::telemetry::RETRY_BUCKETS],
+}
+
+/// The live counters behind [`HazardStats`].
+#[cfg(feature = "stats")]
+#[derive(Debug, Default)]
+struct DomainStats {
+    scans: malloc_api::telemetry::Counter,
+    reclaimed: malloc_api::telemetry::Counter,
+    retired_hwm: malloc_api::telemetry::MaxGauge,
+    frees_per_scan:
+        malloc_api::telemetry::Histogram<{ malloc_api::telemetry::RETRY_BUCKETS }>,
+}
+
 use core::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use record::Record;
 use sysvec::SysVec;
@@ -129,6 +157,9 @@ pub struct HazardDomain {
     /// grow *and* the node was still hazard-protected (see `retire`).
     /// Bounded by memory-pressure incidents, not by workload size.
     leaked: AtomicUsize,
+    /// Reclamation telemetry (`stats` feature only).
+    #[cfg(feature = "stats")]
+    stats: DomainStats,
 }
 
 unsafe impl Send for HazardDomain {}
@@ -147,6 +178,19 @@ impl HazardDomain {
             id: NEXT_DOMAIN_ID.fetch_add(1, Ordering::Relaxed),
             head: AtomicPtr::new(core::ptr::null_mut()),
             leaked: AtomicUsize::new(0),
+            #[cfg(feature = "stats")]
+            stats: DomainStats::default(),
+        }
+    }
+
+    /// Snapshot of this domain's reclamation telemetry.
+    #[cfg(feature = "stats")]
+    pub fn stats(&self) -> HazardStats {
+        HazardStats {
+            scans: self.stats.scans.get(),
+            reclaimed: self.stats.reclaimed.get(),
+            retired_high_water: self.stats.retired_hwm.get(),
+            frees_per_scan: self.stats.frees_per_scan.snapshot(),
         }
     }
 
@@ -220,6 +264,8 @@ impl HazardDomain {
             let node = Retired { ptr, ctx, reclaim };
             match rec.push_retired(node) {
                 Some(len) => {
+                    #[cfg(feature = "stats")]
+                    self.stats.retired_hwm.observe(len as u64);
                     if len >= SCAN_THRESHOLD {
                         self.scan(rec);
                     }
@@ -348,6 +394,7 @@ impl HazardDomain {
         // Stage 2: reclaim retired nodes not in the hazard snapshot.
         let mut retired = rec.take_retired();
         let mut kept: SysVec<Retired> = SysVec::new();
+        let mut _freed: u64 = 0;
         while let Some(node) = retired.pop() {
             if hazards.binary_search(&(node.ptr as usize)) {
                 if !kept.try_push(node) {
@@ -360,7 +407,14 @@ impl HazardDomain {
                 }
             } else {
                 unsafe { (node.reclaim)(node.ctx, node.ptr) };
+                _freed += 1;
             }
+        }
+        #[cfg(feature = "stats")]
+        {
+            self.stats.scans.inc();
+            self.stats.reclaimed.add(_freed);
+            self.stats.frees_per_scan.record(_freed);
         }
         // Merge survivors back. Every kept node came out of `retired`,
         // so its buffer has room for all of them.

@@ -32,6 +32,33 @@ thread_local! {
     };
 }
 
+/// Lock-contention counters (the `stats` feature): how often each lock
+/// tier is taken and how many superblocks cross into the global heap.
+/// The paper's Hoard critique is *lock traffic* — "malloc and free
+/// require one and two lock acquisitions" — so that is what we count.
+#[cfg(feature = "stats")]
+#[derive(Debug, Default)]
+struct LockCounters {
+    heap_locks: malloc_api::telemetry::Counter,
+    global_locks: malloc_api::telemetry::Counter,
+    sb_moves: malloc_api::telemetry::Counter,
+}
+
+/// Snapshot of Hoard's lock-contention counters.
+#[cfg(feature = "stats")]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HoardStats {
+    /// Processor-heap mutex acquisitions (malloc lock #1 and owner-heap
+    /// frees).
+    pub heap_lock_acquisitions: u64,
+    /// Global-heap mutex acquisitions (malloc lock #2, global-owned
+    /// frees, and emptiness-invariant transfers).
+    pub global_lock_acquisitions: u64,
+    /// Superblocks moved from a processor heap to the global heap by the
+    /// emptiness invariant.
+    pub superblocks_moved_to_global: u64,
+}
+
 /// Header for direct (large) allocations; lives at a 16 KiB-aligned base
 /// so the same masking as superblocks identifies it.
 #[repr(C)]
@@ -63,6 +90,8 @@ pub struct Hoard<S: PageSource = CountingSource<SystemSource>> {
     source: Arc<S>,
     /// Frees rejected by region-magic or block-geometry validation.
     misuse: AtomicU64,
+    #[cfg(feature = "stats")]
+    counters: LockCounters,
 }
 
 impl Hoard<CountingSource<SystemSource>> {
@@ -88,6 +117,21 @@ impl<S: PageSource + Send + Sync> Hoard<S> {
             pool: PagePool::new(64), // 1 MiB batches, like the others
             source,
             misuse: AtomicU64::new(0),
+            #[cfg(feature = "stats")]
+            counters: LockCounters::default(),
+        }
+    }
+
+    /// Lock-acquisition and superblock-movement counters.
+    ///
+    /// Named `lock_stats` (not `stats`) so it does not shadow
+    /// [`RawMalloc::stats`] on the concrete type.
+    #[cfg(feature = "stats")]
+    pub fn lock_stats(&self) -> HoardStats {
+        HoardStats {
+            heap_lock_acquisitions: self.counters.heap_locks.get(),
+            global_lock_acquisitions: self.counters.global_locks.get(),
+            superblocks_moved_to_global: self.counters.sb_moves.get(),
         }
     }
 
@@ -117,12 +161,16 @@ impl<S: PageSource + Send + Sync> Hoard<S> {
         let sz = CLASS_SIZES_H[ci] as usize;
         let hi = self.heap_index();
         let mut heap = self.heaps[hi].inner.lock(); // lock #1
+        #[cfg(feature = "stats")]
+        self.counters.heap_locks.inc();
         let sb = match heap.find_usable(ci) {
             Some(sb) => sb,
             None => {
                 // Check the global heap (lock #2), else map a fresh
                 // superblock.
                 let mut g = self.global.inner.lock();
+                #[cfg(feature = "stats")]
+                self.counters.global_locks.inc();
                 if let Some(sb) = g.find_usable(ci) {
                     unsafe {
                         g.unlink(sb);
@@ -170,6 +218,12 @@ impl<S: PageSource + Send + Sync> Hoard<S> {
     unsafe fn free_small(&self, ptr: *mut u8, sb: *mut SbHeader) {
         let sz = unsafe { (*sb).sz } as usize;
         let (owner, mut guard) = unsafe { lock_owner(&self.heaps, &self.global, sb) };
+        #[cfg(feature = "stats")]
+        if owner == OWNER_GLOBAL {
+            self.counters.global_locks.inc();
+        } else {
+            self.counters.heap_locks.inc();
+        }
         unsafe {
             // Geometry checks under the owner's lock, before the block
             // is linked into the free list: a misaligned or out-of-range
@@ -202,6 +256,11 @@ impl<S: PageSource + Send + Sync> Hoard<S> {
             // heap." Lock order is always processor → global.
             if let Some(victim) = guard.find_emptiest() {
                 let mut g = self.global.inner.lock();
+                #[cfg(feature = "stats")]
+                {
+                    self.counters.global_locks.inc();
+                    self.counters.sb_moves.inc();
+                }
                 unsafe {
                     let vsz = (*victim).sz as usize;
                     let used = (*victim).used as usize * vsz;
@@ -462,6 +521,29 @@ mod tests {
             a.free(q);
         }
         assert_eq!(a.misuse_count(), 3);
+    }
+
+    #[cfg(feature = "stats")]
+    #[test]
+    fn lock_counters_track_the_paper_claim() {
+        // "Typically, malloc and free require one and two lock
+        // acquisitions, respectively" — at minimum one per operation.
+        let a = Hoard::new(1);
+        unsafe {
+            let blocks: Vec<*mut u8> = (0..5_000).map(|_| a.malloc(64)).collect();
+            for p in blocks {
+                a.free(p);
+            }
+        }
+        let s = a.lock_stats();
+        // Each of 5000 mallocs takes the heap lock; each free takes the
+        // owner's lock (heap or global, depending on who owns the
+        // superblock by then).
+        assert!(s.heap_lock_acquisitions + s.global_lock_acquisitions >= 10_000, "got {s:?}");
+        // 5000 frees of a single class empty the heap far past the
+        // invariant: superblocks must have moved to the global heap.
+        assert!(s.superblocks_moved_to_global >= 1, "got {s:?}");
+        assert!(s.global_lock_acquisitions >= s.superblocks_moved_to_global);
     }
 
     #[test]

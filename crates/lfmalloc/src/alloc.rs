@@ -47,15 +47,18 @@ pub(crate) unsafe fn malloc_small<S: PageSource>(
     let heap = inner.heap_for(ci);
     loop {
         if let Some((block, desc)) = unsafe { malloc_from_active(inner, heap) } {
+            crate::stat!(inner, heap, malloc_fast);
             unsafe { note_alloc(inner, block, desc) };
             return unsafe { finish_block(block, desc, off) };
         }
         if let Some((block, desc)) = unsafe { malloc_from_partial(inner, heap) } {
+            crate::stat!(inner, heap, malloc_slow);
             unsafe { note_alloc(inner, block, desc) };
             return unsafe { finish_block(block, desc, off) };
         }
         match unsafe { malloc_from_new_sb(inner, heap) } {
             NewSb::Done(Some((block, desc))) => {
+                crate::stat!(inner, heap, malloc_newsb);
                 unsafe { note_alloc(inner, block, desc) };
                 return unsafe { finish_block(block, desc, off) };
             }
@@ -133,6 +136,9 @@ unsafe fn malloc_from_active<S: PageSource>(
     heap: &ProcHeap,
 ) -> Option<(usize, *const Descriptor)> {
     // -- First step: reserve block ------------------------------------
+    // `_reserve_tries`/`_pop_tries` feed the CAS-retry histograms; with
+    // `stats` off the consuming macros vanish and so do the increments.
+    let mut _reserve_tries: u64 = 0;
     let mut oldactive = heap.load_active();
     let reserved = loop {
         if oldactive.is_null() {
@@ -153,9 +159,13 @@ unsafe fn malloc_from_active<S: PageSource>(
         };
         match heap.cas_active(oldactive, newactive) {
             Ok(()) => break oldactive, // line 6 success
-            Err(observed) => oldactive = observed,
+            Err(observed) => {
+                _reserve_tries += 1;
+                oldactive = observed;
+            }
         }
     };
+    crate::stat_hist!(inner, heap, active_cas, _reserve_tries);
     // After this CAS we are *guaranteed* a block in this superblock;
     // the state may meanwhile become FULL, PARTIAL, or even the active
     // superblock of a different heap — but never EMPTY (paper §3.2.3).
@@ -168,6 +178,7 @@ unsafe fn malloc_from_active<S: PageSource>(
     let desc = unsafe { &*desc_ptr };
 
     // -- Second step: pop block (lock-free LIFO pop with ABA tag) -----
+    let mut _pop_tries: u64 = 0;
     let mut morecredits = 0;
     let (block, oldanchor) = loop {
         if malloc_api::fail_point!("active.pop").retry {
@@ -198,7 +209,9 @@ unsafe fn malloc_from_active<S: PageSource>(
         if desc.cas_anchor(oldanchor, newanchor).is_ok() {
             break (block, oldanchor); // line 18
         }
+        _pop_tries += 1;
     };
+    crate::stat_hist!(inner, heap, anchor_cas, _pop_tries);
     if reserved.credits() == 0 && oldanchor.count() > 0 {
         unsafe { update_active(inner, heap, desc_ptr, morecredits) }; // lines 19-20
     }
@@ -228,13 +241,16 @@ pub(crate) unsafe fn update_active<S: PageSource>(
     }
     // Someone installed another active sb: return credits, go PARTIAL.
     let desc = unsafe { &*desc_ptr };
+    let mut _tries: u64 = 0;
     loop {
         let old = desc.load_anchor(); // line 4
         let new = old.with_count(old.count() + morecredits).with_state(SbState::Partial); // 5-6
         if desc.cas_anchor(old, new).is_ok() {
             break; // line 7
         }
+        _tries += 1;
     }
+    crate::stat_hist!(inner, heap, anchor_cas, _tries);
     unsafe { heap_put_partial(inner, desc_ptr as *mut Descriptor) }; // line 8
 }
 
@@ -248,6 +264,7 @@ pub(crate) unsafe fn heap_put_partial<S: PageSource>(inner: &Inner<S>, desc: *mu
         return;
     }
     let heap = unsafe { &*(*desc).heap() };
+    crate::stat!(inner, heap, partial_push);
     let prev = heap.swap_partial(desc); // lines 1-2 (swap == CAS loop)
     if !prev.is_null() {
         let ci = heap.class();
@@ -271,10 +288,15 @@ unsafe fn heap_get_partial<S: PageSource>(
         }
         let desc = heap.load_partial(); // line 1
         if desc.is_null() {
-            return unsafe { inner.classes[heap.class()].partial.get(&inner.domain) };
             // line 3: ListGetPartial
+            let got = unsafe { inner.classes[heap.class()].partial.get(&inner.domain) };
+            if got.is_some() {
+                crate::stat!(inner, heap, partial_pop);
+            }
+            return got;
         }
         if heap.cas_partial(desc, core::ptr::null_mut()) {
+            crate::stat!(inner, heap, partial_pop);
             return Some(desc); // lines 4-5
         }
     }
@@ -298,6 +320,7 @@ unsafe fn malloc_from_partial<S: PageSource>(
         desc.set_heap(heap as *const _ as *mut ProcHeap); // line 3
 
         // -- Reserve blocks (lines 4-10) -------------------------------
+        let mut _reserve_tries: u64 = 0;
         let morecredits = loop {
             let old = desc.load_anchor();
             if old.state() == SbState::Empty {
@@ -316,9 +339,12 @@ unsafe fn malloc_from_partial<S: PageSource>(
             if desc.cas_anchor(old, new).is_ok() {
                 break mc; // line 10
             }
+            _reserve_tries += 1;
         };
+        crate::stat_hist!(inner, heap, anchor_cas, _reserve_tries);
 
         // -- Pop reserved block (lines 11-15) ---------------------------
+        let mut _pop_tries: u64 = 0;
         let block = loop {
             let old = desc.load_anchor();
             let sb = desc.sb() as usize;
@@ -329,10 +355,13 @@ unsafe fn malloc_from_partial<S: PageSource>(
             if desc.cas_anchor(old, new).is_ok() {
                 break block; // line 15
             }
+            _pop_tries += 1;
         };
+        crate::stat_hist!(inner, heap, anchor_cas, _pop_tries);
         if morecredits > 0 {
             unsafe { update_active(inner, heap, desc_ptr, morecredits) }; // lines 16-17
         }
+        crate::stat!(inner, heap, partial_reuse);
         return Some((block, desc_ptr));
     }
 }
@@ -348,16 +377,28 @@ unsafe fn malloc_from_new_sb<S: PageSource>(inner: &Inner<S>, heap: &ProcHeap) -
     // line 1, with bounded backoff: a transient source outage (or a
     // momentarily drained reserve) should not surface as spurious OOM.
     let desc_ptr = crate::retry::with_backoff(retries, || {
-        unsafe { inner.desc_pool.alloc(&inner.domain, &inner.source) as *mut u8 }
+        let p = unsafe { inner.desc_pool.alloc(&inner.domain, &inner.source) as *mut u8 };
+        if p.is_null() {
+            crate::stat_global!(inner, oom_backoffs);
+        }
+        p
     }) as *mut Descriptor;
     if desc_ptr.is_null() {
+        crate::stat_event!(inner, OomBackoff, ci, 0);
         return NewSb::Done(None); // OS exhausted
     }
     let desc = unsafe { &*desc_ptr };
     // line 2, same retry policy.
-    let sb = crate::retry::with_backoff(retries, || inner.sb_pool.alloc(&inner.source));
+    let sb = crate::retry::with_backoff(retries, || {
+        let p = inner.sb_pool.alloc(&inner.source);
+        if p.is_null() {
+            crate::stat_global!(inner, oom_backoffs);
+        }
+        p
+    });
     if sb.is_null() {
         unsafe { inner.desc_pool.retire(&inner.domain, desc_ptr) };
+        crate::stat_event!(inner, OomBackoff, ci, 0);
         return NewSb::Done(None);
     }
     let maxcount = (SB_SIZE / sz) as u32;
@@ -392,6 +433,7 @@ unsafe fn malloc_from_new_sb<S: PageSource>(inner: &Inner<S>, heap: &ProcHeap) -
     let newactive = Active::pack(desc_ptr, credits);
     if heap.cas_active(Active::null(), newactive).is_ok() {
         // line 13 success: block 0 is ours.
+        crate::stat_event!(inner, SbAcquire, ci, sb as usize);
         NewSb::Done(Some((sb as usize, desc_ptr)))
     } else {
         // lines 16-17: lost the race; recycle everything.

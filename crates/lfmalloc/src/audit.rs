@@ -128,6 +128,48 @@ impl core::fmt::Display for AuditReport {
     }
 }
 
+/// The audit's OS-byte reconciliation, broken out per component so
+/// reports can show where live bytes actually sit (superblock
+/// hyperblocks vs descriptor slabs vs large blocks). Computed by
+/// [`Inner::reconcile_bytes`] — the single source of truth shared by
+/// [`LfMalloc::audit`] and the `stats` snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ByteReconciliation {
+    /// Bytes mapped for superblock hyperblocks.
+    pub superblock_bytes: usize,
+    /// Bytes mapped for descriptor slabs.
+    pub descriptor_slab_bytes: usize,
+    /// Bytes backing live large blocks.
+    pub large_bytes: usize,
+    /// What the counting page source believes is live.
+    pub source_live_bytes: usize,
+}
+
+impl ByteReconciliation {
+    /// Sum of the per-component byte counts.
+    pub fn expected(&self) -> usize {
+        self.superblock_bytes + self.descriptor_slab_bytes + self.large_bytes
+    }
+
+    /// True when the source agrees with the component sum.
+    pub fn reconciles(&self) -> bool {
+        self.source_live_bytes == self.expected()
+    }
+}
+
+impl<S: PageSource> Inner<S> {
+    /// Gathers the OS-byte reconciliation components (see
+    /// [`ByteReconciliation`]).
+    pub(crate) fn reconcile_bytes(&self) -> ByteReconciliation {
+        ByteReconciliation {
+            superblock_bytes: self.sb_pool.mapped_bytes(),
+            descriptor_slab_bytes: self.desc_pool.mapped_bytes(),
+            large_bytes: self.large_bytes.load(Ordering::Relaxed),
+            source_live_bytes: self.source.stats().live_bytes,
+        }
+    }
+}
+
 /// Where a linked descriptor was found.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum LinkKind {
@@ -309,18 +351,14 @@ fn audit_inner<S: PageSource>(inner: &Inner<S>) -> AuditReport {
     }
 
     // -- OS accounting reconciliation. ---------------------------------
-    let st = inner.source.stats();
-    let large_bytes = inner.large_bytes.load(Ordering::Relaxed);
-    let expected =
-        inner.sb_pool.mapped_bytes() + inner.desc_pool.mapped_bytes() + large_bytes;
-    if st.live_bytes != expected {
+    let rec = inner.reconcile_bytes();
+    let large_bytes = rec.large_bytes;
+    if !rec.reconciles() {
         rep.violations.push(AuditViolation {
             check: "bytes.reconcile",
             detail: format!(
                 "source live_bytes {} != superblocks {} + desc slabs {} + large {large_bytes}",
-                st.live_bytes,
-                inner.sb_pool.mapped_bytes(),
-                inner.desc_pool.mapped_bytes()
+                rec.source_live_bytes, rec.superblock_bytes, rec.descriptor_slab_bytes
             ),
         });
     }

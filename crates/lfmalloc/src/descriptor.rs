@@ -329,6 +329,12 @@ impl DescriptorPool {
         self.slabs.mapped_bytes()
     }
 
+    /// Lifetime number of descriptor slabs carved from the OS.
+    #[cfg(feature = "stats")]
+    pub fn carve_count(&self) -> u64 {
+        self.slabs.carve_count()
+    }
+
     /// Every descriptor slot in every slab, whether handed out or still
     /// on `DescAvail`. The slab registry is append-only, so this is a
     /// valid prefix even under concurrency.

@@ -59,6 +59,21 @@ pub(crate) unsafe fn push_free_block<S: PageSource>(
     let maxcount = desc.maxcount();
     let idx = ((block - sb) / sz) as u32;
 
+    // Telemetry reads the owning heap now, while the block still pins
+    // the descriptor: after the CAS below a racing thread may empty and
+    // recycle it (same reasoning as the in-loop heap read, line 13).
+    #[cfg(feature = "stats")]
+    let owner = crate::stats::owner_heap(desc_ptr);
+    #[cfg(feature = "stats")]
+    {
+        if crate::stats::is_local_heap(inner, owner) {
+            inner.shard(owner).free_local.inc();
+        } else {
+            inner.shard(owner).free_remote.inc();
+        }
+    }
+
+    let mut _link_tries: u64 = 0;
     let mut heap: *mut ProcHeap = core::ptr::null_mut();
     let (oldanchor, newanchor) = loop {
         let fp = malloc_api::fail_point!("free.link");
@@ -93,9 +108,13 @@ pub(crate) unsafe fn push_free_block<S: PageSource>(
         }
         match desc.cas_anchor(old, new) {
             Ok(()) => break (old, new), // line 18
-            Err(_) => continue,
+            Err(_) => {
+                _link_tries += 1;
+                continue;
+            }
         }
     };
+    crate::stat_hist!(inner, owner, anchor_cas, _link_tries);
 
     if newanchor.state() == SbState::Empty {
         if malloc_api::fail_point!("free.empty").kill {
@@ -103,6 +122,8 @@ pub(crate) unsafe fn push_free_block<S: PageSource>(
             // superblock and its descriptor leak with the dead thread.
             return;
         }
+        crate::stat!(inner, owner, free_empty);
+        crate::stat_event!(inner, SbRetire, owner.class(), sb);
         // lines 19-21: recycle the superblock's memory, then make the
         // descriptor reclaimable.
         unsafe {
@@ -110,6 +131,7 @@ pub(crate) unsafe fn push_free_block<S: PageSource>(
             remove_empty_desc(inner, &*heap, desc_ptr); // line 21
         }
     } else if oldanchor.state() == SbState::Full {
+        crate::stat_event!(inner, HeapTransition, owner.class(), sb);
         // lines 22-23: we are the first to free into a FULL superblock;
         // take responsibility for re-linking it.
         unsafe { crate::alloc::heap_put_partial(inner, desc_ptr) };

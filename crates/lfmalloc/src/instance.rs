@@ -67,6 +67,9 @@ pub(crate) struct Inner<S: PageSource> {
     /// `nheaps` quarantine shards for freed small blocks, or null when
     /// hardening is off. System-allocated.
     pub quarantine: *mut BoundedQueue<QuarantineEntry>,
+    /// Telemetry: the shard array, global counters, and the event ring.
+    #[cfg(feature = "stats")]
+    pub stats: crate::stats::InstanceStats,
 }
 
 impl<S: PageSource> Inner<S> {
@@ -219,6 +222,17 @@ impl<S: PageSource> LfMalloc<S> {
                     );
                 }
             };
+            // Telemetry shards mirror the heap table's layout; build them
+            // first so a failure cleans up like any other metadata OOM.
+            #[cfg(feature = "stats")]
+            let stats = match crate::stats::InstanceStats::new(NUM_CLASSES * nheaps) {
+                Some(s) => s,
+                None => {
+                    free_quarantine(quarantine);
+                    System.dealloc(heaps as *mut u8, heaps_layout);
+                    return Err(OutOfMemory);
+                }
+            };
             let inner_layout = Layout::new::<Inner<S>>();
             let inner = System.alloc(inner_layout) as *mut Inner<S>;
             if inner.is_null() {
@@ -243,6 +257,8 @@ impl<S: PageSource> LfMalloc<S> {
                 large_spans: SpanRegistry::new(),
                 misuse: MisuseCounters::new(),
                 quarantine,
+                #[cfg(feature = "stats")]
+                stats,
             });
             // The FIFO partial lists allocate their dummy nodes now that
             // the domain has a stable address.
@@ -418,6 +434,8 @@ impl<S: PageSource> LfMalloc<S> {
         // 4. Give fully free hyperblocks and slabs back to the OS.
         let mut released = unsafe { inner.sb_pool.trim_to(&inner.source, target_bytes) };
         released += unsafe { inner.desc_pool.trim(&inner.domain, &inner.source) };
+        crate::stat_global!(inner, trims);
+        crate::stat_event!(inner, Trim, 0, released);
         released
     }
 
@@ -559,6 +577,8 @@ impl<S: PageSource> Drop for LfMalloc<S> {
             core::ptr::drop_in_place(core::ptr::addr_of_mut!((*inner).classes));
             core::ptr::drop_in_place(core::ptr::addr_of_mut!((*inner).source));
             core::ptr::drop_in_place(core::ptr::addr_of_mut!((*inner).large_spans));
+            #[cfg(feature = "stats")]
+            core::ptr::drop_in_place(core::ptr::addr_of_mut!((*inner).stats));
             // Quarantine entries are plain addresses into memory already
             // released above; dropping the rings only frees their
             // buffers.

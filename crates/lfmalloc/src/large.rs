@@ -81,10 +81,15 @@ pub(crate) unsafe fn alloc_large<S: PageSource>(
     let os_align = align.max(PAGE_SIZE);
     // Bounded backoff: ride out a transient source outage rather than
     // reporting spurious OOM (same policy as the superblock carve).
-    let base = crate::retry::with_backoff(inner.config.oom_retries, || unsafe {
-        inner.source.alloc_pages(total, os_align)
+    let base = crate::retry::with_backoff(inner.config.oom_retries, || {
+        let p = unsafe { inner.source.alloc_pages(total, os_align) };
+        if p.is_null() {
+            crate::stat_global!(inner, oom_backoffs);
+        }
+        p
     });
     if base.is_null() {
+        crate::stat_event!(inner, OomBackoff, 0, total);
         return core::ptr::null_mut();
     }
     debug_assert_eq!(total & ALIGN_EXP_MASK, 0);
@@ -120,6 +125,7 @@ pub(crate) unsafe fn alloc_large<S: PageSource>(
             .store((user_off << 1) | LARGE_FLAG, Ordering::Relaxed);
         inner.large_live.fetch_add(1, Ordering::Relaxed);
         inner.large_bytes.fetch_add(total, Ordering::Relaxed);
+        crate::stat_global!(inner, large_alloc);
         user
     }
 }
@@ -156,6 +162,7 @@ pub(crate) unsafe fn release_large<S: PageSource>(inner: &Inner<S>, base: usize)
     unsafe { inner.source.dealloc_pages(base as *mut u8, total, os_align) };
     inner.large_live.fetch_sub(1, Ordering::Relaxed);
     inner.large_bytes.fetch_sub(total, Ordering::Relaxed);
+    crate::stat_global!(inner, large_free);
 }
 
 #[cfg(test)]

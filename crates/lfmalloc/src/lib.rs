@@ -56,6 +56,53 @@
 //! never-unmapped page pool rather than `munmap` (the paper's hyperblock
 //! scheme, §3.2.5).
 
+// Telemetry increment macros (crate-internal). With the `stats` feature
+// they hit the instance's shard/global counters; without it they expand
+// to nothing, so instrumented call sites compile to zero code — the
+// same contract as `malloc_api::fail_point!`. Local retry tallies feeding
+// `stat_hist!` use `_`-prefixed names so the dead increments fold away.
+#[cfg(feature = "stats")]
+macro_rules! stat {
+    ($inner:expr, $heap:expr, $field:ident) => {
+        $inner.shard($heap).$field.inc()
+    };
+}
+#[cfg(not(feature = "stats"))]
+macro_rules! stat {
+    ($inner:expr, $heap:expr, $field:ident) => {};
+}
+#[cfg(feature = "stats")]
+macro_rules! stat_hist {
+    ($inner:expr, $heap:expr, $hist:ident, $n:expr) => {
+        $inner.shard($heap).$hist.record($n)
+    };
+}
+#[cfg(not(feature = "stats"))]
+macro_rules! stat_hist {
+    ($inner:expr, $heap:expr, $hist:ident, $n:expr) => {};
+}
+#[cfg(feature = "stats")]
+macro_rules! stat_global {
+    ($inner:expr, $field:ident) => {
+        $inner.stats.$field.inc()
+    };
+}
+#[cfg(not(feature = "stats"))]
+macro_rules! stat_global {
+    ($inner:expr, $field:ident) => {};
+}
+#[cfg(feature = "stats")]
+macro_rules! stat_event {
+    ($inner:expr, $kind:ident, $class:expr, $arg:expr) => {
+        $inner.stats.record_event(crate::stats::EventKind::$kind, $class as u16, $arg as u64)
+    };
+}
+#[cfg(not(feature = "stats"))]
+macro_rules! stat_event {
+    ($inner:expr, $kind:ident, $class:expr, $arg:expr) => {};
+}
+pub(crate) use {stat, stat_event, stat_global, stat_hist};
+
 pub mod active;
 pub mod alloc;
 pub mod anchor;
@@ -71,9 +118,13 @@ pub mod large;
 pub mod partial;
 pub(crate) mod retry;
 pub mod size_classes;
+#[cfg(feature = "stats")]
+pub mod stats;
 
-pub use audit::{AuditReport, AuditViolation};
+pub use audit::{AuditReport, AuditViolation, ByteReconciliation};
 pub use config::{Config, HeapMode, PartialMode};
 pub use global::GlobalLfMalloc;
 pub use harden::{process_misuse_counters, Hardening, MisuseCounters, MisuseKind, MisuseReport};
 pub use instance::{LfMalloc, OutOfMemory};
+#[cfg(feature = "stats")]
+pub use stats::{ClassStats, Event, EventKind, EventRing, StatsSnapshot};

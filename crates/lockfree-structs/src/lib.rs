@@ -56,12 +56,32 @@ pub(crate) fn fp(_name: &'static str) -> FpNone {
     FpNone { retry: false, kill: false }
 }
 
+/// CAS-retry telemetry shim (the `stats` analogue of [`fp`]): with the
+/// feature on, expands to an increment of the named process-wide counter
+/// in [`stats`]; with it off, expands to nothing — the loops carry zero
+/// telemetry code in default builds.
+#[cfg(feature = "stats")]
+macro_rules! cas_retry {
+    ($which:ident) => {
+        crate::stats::$which.inc()
+    };
+}
+
+#[cfg(not(feature = "stats"))]
+macro_rules! cas_retry {
+    ($which:ident) => {};
+}
+
+pub(crate) use cas_retry;
+
 pub mod backoff;
 pub mod list;
 pub mod mpmc;
 pub mod pad;
 pub mod queue;
 pub mod stack;
+#[cfg(feature = "stats")]
+pub mod stats;
 pub mod tagptr;
 
 pub use backoff::Backoff;

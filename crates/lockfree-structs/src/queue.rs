@@ -230,11 +230,13 @@ impl RawQueue {
             let t = domain.protect(SLOT_HEAD, &self.tail);
             let next = unsafe { (*t).next.load(Ordering::Acquire) };
             if self.tail.load(Ordering::Acquire) != t {
+                crate::cas_retry!(QUEUE_ENQUEUE_RETRIES);
                 continue;
             }
             if !next.is_null() {
                 // Tail is lagging: help swing it forward.
                 let _ = self.tail.compare_exchange(t, next, Ordering::Release, Ordering::Relaxed);
+                crate::cas_retry!(QUEUE_ENQUEUE_RETRIES);
                 continue;
             }
             if unsafe { &(*t).next }
@@ -250,6 +252,7 @@ impl RawQueue {
                 domain.clear(SLOT_HEAD);
                 return;
             }
+            crate::cas_retry!(QUEUE_ENQUEUE_RETRIES);
         }
     }
 
@@ -268,6 +271,7 @@ impl RawQueue {
             let next = unsafe { (*h).next.load(Ordering::Acquire) };
             domain.set(SLOT_NEXT, next);
             if self.head.load(Ordering::Acquire) != h {
+                crate::cas_retry!(QUEUE_DEQUEUE_RETRIES);
                 continue; // validation of both h and next failed
             }
             if next.is_null() {
@@ -278,6 +282,7 @@ impl RawQueue {
             if h == t {
                 // Tail lagging behind a non-empty queue: help.
                 let _ = self.tail.compare_exchange(t, next, Ordering::Release, Ordering::Relaxed);
+                crate::cas_retry!(QUEUE_DEQUEUE_RETRIES);
                 continue;
             }
             // `next` is protected; read the value before unlinking `h`.
@@ -292,6 +297,7 @@ impl RawQueue {
                 unsafe { self.pool.retire_node(domain, h) };
                 return Some(value);
             }
+            crate::cas_retry!(QUEUE_DEQUEUE_RETRIES);
         }
     }
 

@@ -73,6 +73,7 @@ impl<const SHIFT: u32, const OFFSET: usize> TaggedStack<SHIFT, OFFSET> {
             ) {
                 Ok(_) => return,
                 Err(observed) => {
+                    crate::cas_retry!(STACK_PUSH_RETRIES);
                     head = TagPtr::from_raw(observed);
                     backoff.spin();
                 }
@@ -106,6 +107,7 @@ impl<const SHIFT: u32, const OFFSET: usize> TaggedStack<SHIFT, OFFSET> {
             ) {
                 Ok(_) => return Some(head.addr()),
                 Err(observed) => {
+                    crate::cas_retry!(STACK_POP_RETRIES);
                     head = TagPtr::from_raw(observed);
                     backoff.spin();
                 }
@@ -200,6 +202,7 @@ impl<T: Intrusive> HpStack<T> {
             ) {
                 Ok(_) => return,
                 Err(observed) => {
+                    crate::cas_retry!(STACK_PUSH_RETRIES);
                     head = observed;
                     backoff.spin();
                 }
@@ -233,6 +236,7 @@ impl<T: Intrusive> HpStack<T> {
                 domain.clear(slot);
                 return Some(p);
             }
+            crate::cas_retry!(STACK_POP_RETRIES);
             backoff.spin();
         }
     }

@@ -38,6 +38,8 @@ pub mod failpoints;
 pub mod layout;
 pub mod stats;
 pub mod sync;
+#[cfg(feature = "stats")]
+pub mod telemetry;
 pub mod testkit;
 
 pub use stats::AllocStats;

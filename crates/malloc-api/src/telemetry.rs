@@ -1,0 +1,217 @@
+//! Lock-free telemetry primitives shared by every instrumented crate.
+//!
+//! Compiled only under the `stats` cargo feature. All counters use
+//! `Relaxed` ordering: telemetry observes *how often* paths run, never
+//! *orders* them — a stats read racing a stats write may be off by a few
+//! events, which is exactly the tolerance a monotonic counter snapshot
+//! needs (see DESIGN.md §9 for the full rationale). The only CAS loop in
+//! the module is the lock-free max of [`MaxGauge`], the same pattern as
+//! [`UsageCounter`](crate::stats::UsageCounter)'s peak tracking.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// A relaxed, monotonic event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter (const so counters can live in statics).
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free high-water mark (bounded CAS loop, like peak bytes).
+#[derive(Debug, Default)]
+pub struct MaxGauge(AtomicU64);
+
+impl MaxGauge {
+    /// A zeroed gauge.
+    pub const fn new() -> Self {
+        MaxGauge(AtomicU64::new(0))
+    }
+
+    /// Raises the high-water mark to `v` if `v` exceeds it.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        while v > cur {
+            match self.0.compare_exchange_weak(cur, v, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+
+    /// Current high-water mark.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Buckets of the CAS-retry histograms: 0, 1, 2–3, 4–7, 8–15, 16–31,
+/// 32–63, 64+.
+pub const RETRY_BUCKETS: usize = 8;
+
+/// A power-of-two-bucket histogram of per-operation counts.
+///
+/// `record(n)` lands in bucket `0` for `n == 0`, bucket
+/// `1 + floor(log2 n)` otherwise, saturating at the last bucket — so the
+/// retry histograms read "operations that needed 0 / 1 / 2–3 / ... CAS
+/// retries".
+#[derive(Debug)]
+pub struct Histogram<const N: usize> {
+    buckets: [AtomicU64; N],
+}
+
+impl<const N: usize> Default for Histogram<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const N: usize> Histogram<N> {
+    /// A zeroed histogram.
+    pub const fn new() -> Self {
+        // `AtomicU64` is not Copy; build the array element by element.
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram { buckets: [ZERO; N] }
+    }
+
+    /// Index of the bucket `n` falls in.
+    #[inline]
+    pub fn bucket_of(n: u64) -> usize {
+        if n == 0 {
+            0
+        } else {
+            ((64 - n.leading_zeros()) as usize).min(N - 1)
+        }
+    }
+
+    /// Records one sample of value `n`.
+    #[inline]
+    pub fn record(&self, n: u64) {
+        self.buckets[Self::bucket_of(n)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of all bucket counts.
+    pub fn snapshot(&self) -> [u64; N] {
+        core::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// Label of bucket `i` of an `N`-bucket histogram ("0", "1", "2-3", ...,
+/// "64+") for report rendering.
+pub fn bucket_label(i: usize, n: usize) -> String {
+    if i == 0 {
+        "0".into()
+    } else if i == n - 1 {
+        format!("{}+", 1u64 << (i - 1))
+    } else if i == 1 {
+        "1".into()
+    } else {
+        format!("{}-{}", 1u64 << (i - 1), (1u64 << i) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_adds() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        c.add(0);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn max_gauge_keeps_high_water() {
+        let g = MaxGauge::new();
+        g.observe(3);
+        g.observe(10);
+        g.observe(7);
+        assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    fn histogram_buckets_are_power_of_two() {
+        assert_eq!(Histogram::<8>::bucket_of(0), 0);
+        assert_eq!(Histogram::<8>::bucket_of(1), 1);
+        assert_eq!(Histogram::<8>::bucket_of(2), 2);
+        assert_eq!(Histogram::<8>::bucket_of(3), 2);
+        assert_eq!(Histogram::<8>::bucket_of(4), 3);
+        assert_eq!(Histogram::<8>::bucket_of(63), 6);
+        assert_eq!(Histogram::<8>::bucket_of(64), 7);
+        assert_eq!(Histogram::<8>::bucket_of(u64::MAX), 7);
+    }
+
+    #[test]
+    fn histogram_records_and_totals() {
+        let h: Histogram<8> = Histogram::new();
+        h.record(0);
+        h.record(0);
+        h.record(3);
+        h.record(100);
+        let s = h.snapshot();
+        assert_eq!(s[0], 2);
+        assert_eq!(s[2], 1);
+        assert_eq!(s[7], 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn bucket_labels_render() {
+        assert_eq!(bucket_label(0, 8), "0");
+        assert_eq!(bucket_label(1, 8), "1");
+        assert_eq!(bucket_label(2, 8), "2-3");
+        assert_eq!(bucket_label(6, 8), "32-63");
+        assert_eq!(bucket_label(7, 8), "64+");
+    }
+
+    #[test]
+    fn concurrent_counting_is_exact() {
+        let c = std::sync::Arc::new(Counter::new());
+        let mut hs = Vec::new();
+        for _ in 0..4 {
+            let c = std::sync::Arc::clone(&c);
+            hs.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    c.inc();
+                }
+            }));
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 40_000);
+    }
+}

@@ -54,6 +54,9 @@ pub struct PagePool<const SHIFT: u32> {
     hypers: AtomicPtr<HyperRecord>,
     hyper_count: AtomicUsize,
     batch: usize,
+    /// Lifetime count of hyperblock carves (never decremented by trim).
+    #[cfg(feature = "stats")]
+    carves: malloc_api::telemetry::Counter,
 }
 
 unsafe impl<const SHIFT: u32> Send for PagePool<SHIFT> {}
@@ -75,6 +78,8 @@ impl<const SHIFT: u32> PagePool<SHIFT> {
             hypers: AtomicPtr::new(core::ptr::null_mut()),
             hyper_count: AtomicUsize::new(0),
             batch,
+            #[cfg(feature = "stats")]
+            carves: malloc_api::telemetry::Counter::new(),
         }
     }
 
@@ -111,7 +116,16 @@ impl<const SHIFT: u32> PagePool<SHIFT> {
         for i in 1..self.batch {
             unsafe { self.free.push(base as usize + (i << SHIFT)) };
         }
+        #[cfg(feature = "stats")]
+        self.carves.inc();
         base
+    }
+
+    /// Lifetime number of hyperblock carves performed by this pool
+    /// (monotone; `trim` does not decrement it).
+    #[cfg(feature = "stats")]
+    pub fn carve_count(&self) -> u64 {
+        self.carves.get()
     }
 
     /// Returns a region to the pool (never to the OS).

@@ -46,6 +46,32 @@ fn owner_checksum(owner: usize, base: usize) -> usize {
     owner ^ base ^ CHECKSUM_SALT
 }
 
+/// Arena-discipline counters (the `stats` feature). The paper's
+/// ptmalloc pathologies are arena-hopping and arena blowup ("22 arenas
+/// for 16 threads"), so we count try-lock scan steps, successful lock
+/// acquisitions, and arena creations.
+#[cfg(feature = "stats")]
+#[derive(Debug, Default)]
+struct ArenaCounters {
+    lock_acquisitions: malloc_api::telemetry::Counter,
+    arena_scans: malloc_api::telemetry::Counter,
+    arena_creations: malloc_api::telemetry::Counter,
+}
+
+/// Snapshot of ptmalloc's arena-discipline counters.
+#[cfg(feature = "stats")]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PtmallocStats {
+    /// Arena mutex acquisitions (successful try-locks in the malloc
+    /// scan, new-arena locks, and every free's owner lock).
+    pub lock_acquisitions: u64,
+    /// Try-lock attempts during the malloc arena scan, successful or
+    /// not — each step past the first is an arena hop.
+    pub arena_scans: u64,
+    /// Arenas created because every existing arena was locked.
+    pub arena_creations: u64,
+}
+
 /// One arena: a serial heap behind its own lock.
 struct Arena<S: PageSource> {
     heap: Mutex<SerialHeap<S>>,
@@ -83,6 +109,8 @@ pub struct Ptmalloc<S: PageSource = CountingSource<SystemSource>> {
     /// Frees rejected by the owner-prefix checksum (double frees and
     /// corrupted prefixes).
     misuse: AtomicU64,
+    #[cfg(feature = "stats")]
+    counters: ArenaCounters,
 }
 
 impl Ptmalloc<CountingSource<SystemSource>> {
@@ -102,7 +130,26 @@ impl<S: PageSource + Send + Sync> Ptmalloc<S> {
     /// Builds the allocator over an injected page source.
     pub fn with_source(source: Arc<S>) -> Self {
         let main = Arena::new(Arc::clone(&source));
-        Ptmalloc { arenas: RwLock::new(vec![main]), source, misuse: AtomicU64::new(0) }
+        Ptmalloc {
+            arenas: RwLock::new(vec![main]),
+            source,
+            misuse: AtomicU64::new(0),
+            #[cfg(feature = "stats")]
+            counters: ArenaCounters::default(),
+        }
+    }
+
+    /// Arena-discipline counters.
+    ///
+    /// Named `lock_stats` (not `stats`) so it does not shadow
+    /// [`RawMalloc::stats`] on the concrete type.
+    #[cfg(feature = "stats")]
+    pub fn lock_stats(&self) -> PtmallocStats {
+        PtmallocStats {
+            lock_acquisitions: self.counters.lock_acquisitions.get(),
+            arena_scans: self.counters.arena_scans.get(),
+            arena_creations: self.counters.arena_creations.get(),
+        }
     }
 
     /// Number of arenas created so far. The paper reports this as a
@@ -138,7 +185,11 @@ impl<S: PageSource + Send + Sync> Ptmalloc<S> {
             //    the next one."
             for step in 0..n {
                 let idx = (start + step) % n;
+                #[cfg(feature = "stats")]
+                self.counters.arena_scans.inc();
                 if let Some(mut heap) = arenas[idx].heap.try_lock() {
+                    #[cfg(feature = "stats")]
+                    self.counters.lock_acquisitions.inc();
                     let p = unsafe { heap.malloc(total) };
                     drop(heap);
                     if p.is_null() {
@@ -160,6 +211,11 @@ impl<S: PageSource + Send + Sync> Ptmalloc<S> {
             arenas.push(Arc::clone(&arena));
         }
         let _ = LAST_ARENA.try_with(|c| c.set(idx));
+        #[cfg(feature = "stats")]
+        {
+            self.counters.arena_creations.inc();
+            self.counters.lock_acquisitions.inc();
+        }
         let p = unsafe { arena.heap.lock().malloc(total) };
         if p.is_null() {
             return core::ptr::null_mut();
@@ -206,6 +262,8 @@ unsafe impl<S: PageSource + Send + Sync> RawMalloc for Ptmalloc<S> {
             // "the thread must acquire that arena's lock" — a remote
             // free blocks on the owner's lock, the contention source the
             // paper measures in Larson and producer-consumer.
+            #[cfg(feature = "stats")]
+            self.counters.lock_acquisitions.inc();
             (*owner).heap.lock().free(base);
         }
     }
@@ -326,6 +384,48 @@ mod tests {
             a.free(q);
         }
         assert_eq!(a.misuse_count(), 1);
+    }
+
+    #[cfg(feature = "stats")]
+    #[test]
+    fn arena_counters_track_the_discipline() {
+        let a = Arc::new(Ptmalloc::new());
+        unsafe {
+            let p = a.malloc(64);
+            a.free(p);
+        }
+        let s = a.lock_stats();
+        // One malloc (scan step 0 succeeds) + one free: two lock
+        // acquisitions, one scan step, no new arenas.
+        assert_eq!(s.lock_acquisitions, 2, "got {s:?}");
+        assert_eq!(s.arena_scans, 1, "got {s:?}");
+        assert_eq!(s.arena_creations, 0, "got {s:?}");
+
+        // Hold the only arena's lock: the next malloc must scan past it
+        // and create a second arena.
+        let hold = Arc::clone(&a.arenas.read()[0]);
+        let barrier = Arc::new(Barrier::new(2));
+        let release = Arc::new(AtomicBool::new(false));
+        let holder = {
+            let barrier = Arc::clone(&barrier);
+            let release = Arc::clone(&release);
+            std::thread::spawn(move || {
+                let _guard = hold.heap.lock();
+                barrier.wait();
+                while !release.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+            })
+        };
+        barrier.wait();
+        let p = unsafe { a.malloc(64) };
+        assert!(!p.is_null());
+        release.store(true, Ordering::Release);
+        holder.join().unwrap();
+        let s = a.lock_stats();
+        assert_eq!(s.arena_creations, 1, "got {s:?}");
+        assert!(s.arena_scans >= 2, "the locked arena must count as a scan step: {s:?}");
+        unsafe { a.free(p) };
     }
 
     #[test]

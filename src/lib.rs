@@ -47,6 +47,8 @@ pub mod prelude {
     };
     pub use malloc_api::{AllocStats, RawMalloc};
     pub use ptmalloc::Ptmalloc;
+    #[cfg(feature = "stats")]
+    pub use lfmalloc::{ClassStats, Event, EventKind, StatsSnapshot};
 }
 
 #[cfg(test)]
