@@ -312,6 +312,32 @@ impl HazardDomain {
         }
     }
 
+    /// Adopts each inactive record in turn — via the same `active`
+    /// try-lock that hands records to new threads — scans its retired
+    /// list, and releases it again. This drains nodes orphaned by exited
+    /// threads *without* requiring quiescence: while adopted, the record
+    /// has exactly one owner (the caller), which is all `scan` needs, and
+    /// an inactive record's hazard slots are already null (cleared by the
+    /// previous owner's `deactivate`). Records owned by live threads are
+    /// skipped; their owners scan for themselves. Safe to call
+    /// concurrently with every other domain operation. Returns the number
+    /// of nodes reclaimed.
+    pub fn reap_inactive(&self) -> usize {
+        let mut reclaimed = 0usize;
+        let mut p = self.head.load(Ordering::Acquire);
+        while !p.is_null() {
+            let rec = unsafe { &*p };
+            if rec.try_adopt() {
+                let before = rec.retired_len();
+                self.scan(rec);
+                reclaimed += before.saturating_sub(rec.retired_len());
+                unsafe { rec.deactivate() };
+            }
+            p = rec.next;
+        }
+        reclaimed
+    }
+
     /// Nodes abandoned (leaked) because memory pressure prevented both
     /// retiring and inline reclamation. Always safe, ideally zero.
     pub fn leaked_count(&self) -> usize {
@@ -560,6 +586,44 @@ mod tests {
         assert!(RECLAIMED.load(Ordering::SeqCst) >= before + 10);
         assert_eq!(d.retired_count(), 0);
         assert_eq!(d.leaked_count(), 0, "no pressure, no leaks");
+    }
+
+    #[test]
+    fn reap_inactive_drains_dead_thread_records() {
+        let d = HazardDomain::new();
+        let before = RECLAIMED.load(Ordering::SeqCst);
+        // An exited thread leaves its record inactive with nodes still
+        // retired (below the scan threshold, so nothing auto-drained).
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..7 {
+                    let n = Box::into_raw(Box::new(0u64));
+                    unsafe { d.retire(n as *mut u8, core::ptr::null_mut(), count_reclaim) };
+                }
+            });
+        });
+        assert_eq!(d.retired_count(), 7, "orphaned nodes await a reaper");
+        let reaped = d.reap_inactive();
+        assert_eq!(reaped, 7);
+        assert_eq!(d.retired_count(), 0);
+        assert_eq!(RECLAIMED.load(Ordering::SeqCst), before + 7);
+    }
+
+    #[test]
+    fn reap_inactive_skips_live_owners() {
+        let d = HazardDomain::new();
+        // The calling thread's own record is active (cached); nodes it
+        // retired must not be double-scanned out from under it.
+        let n = Box::into_raw(Box::new(5u64));
+        let a = AtomicPtr::new(n);
+        let p = d.protect(Slot(0), &a);
+        assert!(!p.is_null());
+        unsafe { d.retire(n as *mut u8, core::ptr::null_mut(), count_reclaim) };
+        let before = RECLAIMED.load(Ordering::SeqCst);
+        assert_eq!(d.reap_inactive(), 0, "active record is skipped");
+        assert_eq!(RECLAIMED.load(Ordering::SeqCst), before);
+        d.clear(Slot(0));
+        d.flush();
     }
 
     #[test]

@@ -71,6 +71,17 @@ impl Record {
         unsafe { (*self.retired.get()).len() }
     }
 
+    /// Tries to take ownership of this record via the `active` try-lock.
+    /// On success the caller is the record's sole owner (hazard slots and
+    /// retired list) until it calls [`deactivate`](Self::deactivate).
+    pub fn try_adopt(&self) -> bool {
+        !self.active.load(Ordering::Relaxed)
+            && self
+                .active
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+    }
+
     /// Releases ownership so another thread can adopt this record.
     pub unsafe fn deactivate(&self) {
         for h in &self.hazards {
@@ -87,12 +98,7 @@ pub(crate) fn acquire_record(domain: &HazardDomain) -> *mut Record {
     let mut p = domain.record_head().load(Ordering::Acquire);
     while !p.is_null() {
         let rec = unsafe { &*p };
-        if !rec.active.load(Ordering::Relaxed)
-            && rec
-                .active
-                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
-                .is_ok()
-        {
+        if rec.try_adopt() {
             return p;
         }
         p = rec.next;

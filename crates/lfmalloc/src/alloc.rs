@@ -16,6 +16,7 @@ use crate::active::Active;
 use crate::anchor::{SbState, MAX_BLOCKS};
 use crate::config::{PREFIX_SIZE, SB_SIZE};
 use crate::descriptor::Descriptor;
+use crate::health::{watch, WatchSite};
 use crate::heap::ProcHeap;
 use crate::instance::Inner;
 use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -136,9 +137,10 @@ unsafe fn malloc_from_active<S: PageSource>(
     heap: &ProcHeap,
 ) -> Option<(usize, *const Descriptor)> {
     // -- First step: reserve block ------------------------------------
-    // `_reserve_tries`/`_pop_tries` feed the CAS-retry histograms; with
-    // `stats` off the consuming macros vanish and so do the increments.
-    let mut _reserve_tries: u64 = 0;
+    // `reserve_tries`/`pop_tries` feed the CAS-retry histograms *and*
+    // the liveness watchdog; forced-retry failpoint iterations count
+    // too, so a seeded storm is indistinguishable from a real one.
+    let mut reserve_tries: u64 = 0;
     let mut oldactive = heap.load_active();
     let reserved = loop {
         if oldactive.is_null() {
@@ -149,6 +151,8 @@ unsafe fn malloc_from_active<S: PageSource>(
             return None; // died before the reservation CAS: nothing taken
         }
         if fp.retry {
+            reserve_tries += 1;
+            watch(inner, heap, WatchSite::ActiveReserve, reserve_tries);
             oldactive = heap.load_active();
             continue;
         }
@@ -160,12 +164,13 @@ unsafe fn malloc_from_active<S: PageSource>(
         match heap.cas_active(oldactive, newactive) {
             Ok(()) => break oldactive, // line 6 success
             Err(observed) => {
-                _reserve_tries += 1;
+                reserve_tries += 1;
+                watch(inner, heap, WatchSite::ActiveReserve, reserve_tries);
                 oldactive = observed;
             }
         }
     };
-    crate::stat_hist!(inner, heap, active_cas, _reserve_tries);
+    crate::stat_hist!(inner, heap, active_cas, reserve_tries);
     // After this CAS we are *guaranteed* a block in this superblock;
     // the state may meanwhile become FULL, PARTIAL, or even the active
     // superblock of a different heap — but never EMPTY (paper §3.2.3).
@@ -178,11 +183,15 @@ unsafe fn malloc_from_active<S: PageSource>(
     let desc = unsafe { &*desc_ptr };
 
     // -- Second step: pop block (lock-free LIFO pop with ABA tag) -----
-    let mut _pop_tries: u64 = 0;
+    let mut pop_tries: u64 = 0;
     let mut morecredits = 0;
     let (block, oldanchor) = loop {
         if malloc_api::fail_point!("active.pop").retry {
-            continue; // forced CAS-failure arm of the pop loop
+            // Forced CAS-failure arm of the pop loop; counted so the
+            // watchdog sees seeded storms.
+            pop_tries += 1;
+            watch(inner, heap, WatchSite::ActivePop, pop_tries);
+            continue;
         }
         let oldanchor = desc.load_anchor(); // line 8
         let sb = desc.sb() as usize;
@@ -209,9 +218,10 @@ unsafe fn malloc_from_active<S: PageSource>(
         if desc.cas_anchor(oldanchor, newanchor).is_ok() {
             break (block, oldanchor); // line 18
         }
-        _pop_tries += 1;
+        pop_tries += 1;
+        watch(inner, heap, WatchSite::ActivePop, pop_tries);
     };
-    crate::stat_hist!(inner, heap, anchor_cas, _pop_tries);
+    crate::stat_hist!(inner, heap, anchor_cas, pop_tries);
     if reserved.credits() == 0 && oldanchor.count() > 0 {
         unsafe { update_active(inner, heap, desc_ptr, morecredits) }; // lines 19-20
     }
@@ -241,16 +251,17 @@ pub(crate) unsafe fn update_active<S: PageSource>(
     }
     // Someone installed another active sb: return credits, go PARTIAL.
     let desc = unsafe { &*desc_ptr };
-    let mut _tries: u64 = 0;
+    let mut tries: u64 = 0;
     loop {
         let old = desc.load_anchor(); // line 4
         let new = old.with_count(old.count() + morecredits).with_state(SbState::Partial); // 5-6
         if desc.cas_anchor(old, new).is_ok() {
             break; // line 7
         }
-        _tries += 1;
+        tries += 1;
+        watch(inner, heap, WatchSite::UpdateActive, tries);
     }
-    crate::stat_hist!(inner, heap, anchor_cas, _tries);
+    crate::stat_hist!(inner, heap, anchor_cas, tries);
     unsafe { heap_put_partial(inner, desc_ptr as *mut Descriptor) }; // line 8
 }
 
@@ -278,12 +289,15 @@ unsafe fn heap_get_partial<S: PageSource>(
     inner: &Inner<S>,
     heap: &ProcHeap,
 ) -> Option<*mut Descriptor> {
+    let mut tries: u64 = 0;
     loop {
         let fp = malloc_api::fail_point!("partial.get");
         if fp.kill {
             return None; // died before taking anything
         }
         if fp.retry {
+            tries += 1;
+            watch(inner, heap, WatchSite::PartialPop, tries);
             continue;
         }
         let desc = heap.load_partial(); // line 1
@@ -299,6 +313,8 @@ unsafe fn heap_get_partial<S: PageSource>(
             crate::stat!(inner, heap, partial_pop);
             return Some(desc); // lines 4-5
         }
+        tries += 1;
+        watch(inner, heap, WatchSite::PartialPop, tries);
     }
 }
 
@@ -320,7 +336,7 @@ unsafe fn malloc_from_partial<S: PageSource>(
         desc.set_heap(heap as *const _ as *mut ProcHeap); // line 3
 
         // -- Reserve blocks (lines 4-10) -------------------------------
-        let mut _reserve_tries: u64 = 0;
+        let mut reserve_tries: u64 = 0;
         let morecredits = loop {
             let old = desc.load_anchor();
             if old.state() == SbState::Empty {
@@ -339,12 +355,13 @@ unsafe fn malloc_from_partial<S: PageSource>(
             if desc.cas_anchor(old, new).is_ok() {
                 break mc; // line 10
             }
-            _reserve_tries += 1;
+            reserve_tries += 1;
+            watch(inner, heap, WatchSite::PartialReserve, reserve_tries);
         };
-        crate::stat_hist!(inner, heap, anchor_cas, _reserve_tries);
+        crate::stat_hist!(inner, heap, anchor_cas, reserve_tries);
 
         // -- Pop reserved block (lines 11-15) ---------------------------
-        let mut _pop_tries: u64 = 0;
+        let mut pop_tries: u64 = 0;
         let block = loop {
             let old = desc.load_anchor();
             let sb = desc.sb() as usize;
@@ -355,9 +372,10 @@ unsafe fn malloc_from_partial<S: PageSource>(
             if desc.cas_anchor(old, new).is_ok() {
                 break block; // line 15
             }
-            _pop_tries += 1;
+            pop_tries += 1;
+            watch(inner, heap, WatchSite::PartialPop, pop_tries);
         };
-        crate::stat_hist!(inner, heap, anchor_cas, _pop_tries);
+        crate::stat_hist!(inner, heap, anchor_cas, pop_tries);
         if morecredits > 0 {
             unsafe { update_active(inner, heap, desc_ptr, morecredits) }; // lines 16-17
         }

@@ -196,7 +196,11 @@ impl<S: PageSource> LfMalloc<S> {
     /// Call while quiescent (no concurrent malloc/free). Concurrent use
     /// is memory-safe but may report spurious violations.
     pub fn audit(&self) -> AuditReport {
-        audit_inner(self.inner())
+        let rep = audit_inner(self.inner());
+        // A full audit is the authoritative integrity verdict: record it
+        // so `health()` (and `is_degraded`) reflect the latest outcome.
+        self.inner().health.note_full_audit(rep.violations.len() as u64);
+        rep
     }
 }
 

@@ -1,6 +1,8 @@
 //! Allocator configuration and load-bearing constants.
 
 use crate::harden::Hardening;
+use crate::health::LivenessConfig;
+use crate::maintain::ReaperConfig;
 
 /// Superblock size exponent: superblocks are `2^SB_SHIFT` = 16 KiB, the
 /// paper's example size, and are carved from 1 MiB hyperblocks.
@@ -93,6 +95,18 @@ pub struct Config {
     /// (provenance, double free, poison, guard pages) — see the
     /// [`harden`](crate::harden) module.
     pub hardening: Hardening,
+    /// Liveness watchdog: retry ceiling + escalation policy for the
+    /// instrumented CAS loops — see the [`health`](crate::health) module.
+    /// Defaults to [`LivenessConfig::default_const`] (Report at a ceiling
+    /// no honest contention reaches).
+    pub liveness: LivenessConfig,
+    /// Opt-in background reaper: when `Some`, [`crate::LfMalloc`]
+    /// instances over the system page source spawn a maintenance thread
+    /// that calls [`maintain`](crate::LfMalloc::maintain) on the given
+    /// period/budget (custom-source instances call
+    /// [`start_reaper`](crate::LfMalloc::start_reaper) explicitly).
+    /// `None` (default): maintenance only runs when the caller asks.
+    pub reaper: Option<ReaperConfig>,
 }
 
 impl Config {
@@ -108,6 +122,8 @@ impl Config {
             max_credits: MAX_CREDITS,
             oom_retries: DEFAULT_OOM_RETRIES,
             hardening: Hardening::Off,
+            liveness: LivenessConfig::default_const(),
+            reaper: None,
         }
     }
 
@@ -121,6 +137,8 @@ impl Config {
             max_credits: MAX_CREDITS,
             oom_retries: DEFAULT_OOM_RETRIES,
             hardening: Hardening::Off,
+            liveness: LivenessConfig::default_const(),
+            reaper: None,
         }
     }
 
@@ -132,6 +150,8 @@ impl Config {
             max_credits: MAX_CREDITS,
             oom_retries: DEFAULT_OOM_RETRIES,
             hardening: Hardening::Off,
+            liveness: LivenessConfig::default_const(),
+            reaper: None,
         }
     }
 
@@ -149,6 +169,16 @@ impl Config {
     /// static configuration can opt in at compile time).
     pub const fn with_hardening(self, h: Hardening) -> Self {
         Config { hardening: h, ..self }
+    }
+
+    /// Liveness-watchdog policy and retry ceiling.
+    pub const fn with_liveness(self, l: LivenessConfig) -> Self {
+        Config { liveness: l, ..self }
+    }
+
+    /// Enables the background reaper with the given period and budget.
+    pub const fn with_reaper(self, r: ReaperConfig) -> Self {
+        Config { reaper: Some(r), ..self }
     }
 }
 
@@ -198,5 +228,29 @@ mod tests {
         let c = Config::uniprocessor().with_hardening(Hardening::Detect);
         assert_eq!(c.hardening, Hardening::Detect);
         assert_eq!(c.with_hardening(Hardening::Abort).hardening, Hardening::Abort);
+    }
+
+    #[test]
+    fn liveness_defaults_and_override() {
+        use crate::health::{LivenessPolicy, DEFAULT_RETRY_CEILING};
+        for c in [Config::detect(), Config::with_heaps(2), Config::uniprocessor()] {
+            assert_eq!(c.liveness.retry_ceiling, DEFAULT_RETRY_CEILING);
+            assert_eq!(c.liveness.policy, LivenessPolicy::Report);
+        }
+        const CUSTOM: Config = Config::with_heaps(1)
+            .with_liveness(LivenessConfig::new(16, LivenessPolicy::Abort));
+        assert_eq!(CUSTOM.liveness.retry_ceiling, 16);
+        assert_eq!(CUSTOM.liveness.policy, LivenessPolicy::Abort);
+    }
+
+    #[test]
+    fn reaper_defaults_off_and_override() {
+        use core::time::Duration;
+        assert!(Config::detect().reaper.is_none());
+        assert!(Config::uniprocessor().reaper.is_none());
+        const WITH: Config =
+            Config::with_heaps(1).with_reaper(ReaperConfig::every(Duration::from_millis(50)));
+        let r = WITH.reaper.expect("reaper configured");
+        assert_eq!(r.period, Duration::from_millis(50));
     }
 }

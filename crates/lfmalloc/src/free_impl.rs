@@ -59,21 +59,31 @@ pub(crate) unsafe fn push_free_block<S: PageSource>(
     let maxcount = desc.maxcount();
     let idx = ((block - sb) / sz) as u32;
 
-    // Telemetry reads the owning heap now, while the block still pins
-    // the descriptor: after the CAS below a racing thread may empty and
-    // recycle it (same reasoning as the in-loop heap read, line 13).
-    #[cfg(feature = "stats")]
-    let owner = crate::stats::owner_heap(desc_ptr);
+    // The watchdog needs the owning heap for site attribution; read it
+    // now, while the block still pins the descriptor (the heap table
+    // itself lives until instance teardown, so the reference stays
+    // valid even if the descriptor is recycled later).
+    let owner = unsafe { &*desc.heap() };
+    // Telemetry reads the owning heap under the same pinning argument.
     #[cfg(feature = "stats")]
     {
-        if crate::stats::is_local_heap(inner, owner) {
+        if crate::heap::try_thread_id().is_none() {
+            // TLS teardown: the freeing thread no longer has an
+            // identity, so "local vs remote" is undecidable — it is
+            // deliberately attributed as a *remote* free (the paper's
+            // slow-path accounting) rather than defaulting to heap 0's
+            // local path, and counted separately so teardown traffic is
+            // visible. See `heap::try_thread_id`.
+            inner.shard(owner).free_teardown.inc();
+            inner.shard(owner).free_remote.inc();
+        } else if crate::stats::is_local_heap(inner, owner) {
             inner.shard(owner).free_local.inc();
         } else {
             inner.shard(owner).free_remote.inc();
         }
     }
 
-    let mut _link_tries: u64 = 0;
+    let mut link_tries: u64 = 0;
     let mut heap: *mut ProcHeap = core::ptr::null_mut();
     let (oldanchor, newanchor) = loop {
         let fp = malloc_api::fail_point!("free.link");
@@ -83,6 +93,9 @@ pub(crate) unsafe fn push_free_block<S: PageSource>(
             return;
         }
         if fp.retry {
+            // Forced CAS failure: counted so the watchdog sees it.
+            link_tries += 1;
+            crate::health::watch(inner, owner, crate::health::WatchSite::FreeLink, link_tries);
             continue;
         }
         let old = desc.load_anchor(); // line 7
@@ -109,12 +122,13 @@ pub(crate) unsafe fn push_free_block<S: PageSource>(
         match desc.cas_anchor(old, new) {
             Ok(()) => break (old, new), // line 18
             Err(_) => {
-                _link_tries += 1;
+                link_tries += 1;
+                crate::health::watch(inner, owner, crate::health::WatchSite::FreeLink, link_tries);
                 continue;
             }
         }
     };
-    crate::stat_hist!(inner, owner, anchor_cas, _link_tries);
+    crate::stat_hist!(inner, owner, anchor_cas, link_tries);
 
     if newanchor.state() == SbState::Empty {
         if malloc_api::fail_point!("free.empty").kill {

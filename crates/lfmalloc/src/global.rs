@@ -114,6 +114,31 @@ impl GlobalLfMalloc {
     }
 }
 
+impl GlobalLfMalloc {
+    /// [`LfMalloc::health`] of the underlying instance (initializing it
+    /// on first use, like every other call).
+    pub fn health(&self) -> crate::health::HealthSnapshot {
+        self.instance().health()
+    }
+
+    /// Runs one [`LfMalloc::maintain`] pass on the underlying instance.
+    pub fn maintain(&self, budget: crate::maintain::MaintenanceBudget) -> crate::maintain::MaintenanceReport {
+        self.instance().maintain(budget)
+    }
+
+    /// Starts the background reaper on the underlying instance
+    /// (explicit configuration — the const-built global config cannot
+    /// carry one). Returns `false` if a reaper is already running.
+    pub fn start_reaper(&self, cfg: crate::maintain::ReaperConfig) -> bool {
+        self.instance().start_reaper_with(cfg)
+    }
+
+    /// Stops the background reaper, if any; `true` if one was stopped.
+    pub fn stop_reaper(&self) -> bool {
+        self.instance().stop_reaper()
+    }
+}
+
 impl Default for GlobalLfMalloc {
     fn default() -> Self {
         Self::new()

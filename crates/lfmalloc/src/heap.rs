@@ -103,9 +103,24 @@ thread_local! {
 /// which processor heap to use"). Falls back to 0 when thread-local
 /// storage is unavailable (calls during thread teardown) — correctness
 /// never depends on the id, only distribution does.
+///
+/// The fallback means allocator calls issued from TLS destructors all
+/// map to heap 0. For *malloc* that is only a distribution artifact; for
+/// *free*-side telemetry it would silently misattribute teardown frees
+/// of heap-0 blocks as local. Callers that care use [`try_thread_id`]
+/// to detect the teardown case and route it deliberately (counted under
+/// the `free_teardown` stat as a remote free).
 #[inline]
 pub fn thread_id() -> usize {
-    THREAD_ID.try_with(|id| *id).unwrap_or(0)
+    try_thread_id().unwrap_or(0)
+}
+
+/// Like [`thread_id`], but reports thread-local-storage unavailability
+/// (the thread is running TLS destructors) as `None` instead of folding
+/// it into id 0.
+#[inline]
+pub fn try_thread_id() -> Option<usize> {
+    THREAD_ID.try_with(|id| *id).ok()
 }
 
 /// Maps the calling thread to a heap index under `mode`.

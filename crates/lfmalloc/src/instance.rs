@@ -67,6 +67,10 @@ pub(crate) struct Inner<S: PageSource> {
     /// `nheaps` quarantine shards for freed small blocks, or null when
     /// hardening is off. System-allocated.
     pub quarantine: *mut BoundedQueue<QuarantineEntry>,
+    /// Always-on liveness/maintenance counters (see [`crate::health`]).
+    pub health: crate::health::HealthState,
+    /// Background-reaper control plane (see [`crate::maintain`]).
+    pub reaper: crate::maintain::ReaperState,
     /// Telemetry: the shard array, global counters, and the event ring.
     #[cfg(feature = "stats")]
     pub stats: crate::stats::InstanceStats,
@@ -85,6 +89,15 @@ impl<S: PageSource> Inner<S> {
     pub fn heap_at(&self, ci: usize, h: usize) -> &ProcHeap {
         assert!(ci < NUM_CLASSES && h < self.nheaps);
         unsafe { &*self.heaps.add(ci * self.nheaps + h) }
+    }
+
+    /// Blocks currently parked in the quarantine rings (racy snapshot;
+    /// 0 when hardening is off).
+    pub fn quarantine_depth(&self) -> usize {
+        if self.quarantine.is_null() {
+            return 0;
+        }
+        (0..self.nheaps).map(|i| unsafe { (*self.quarantine.add(i)).len() }).sum()
     }
 }
 
@@ -144,14 +157,23 @@ impl LfMalloc<SystemSource> {
         Self::try_with_config(Config::detect())
     }
 
-    /// Custom configuration over the system page source.
+    /// Custom configuration over the system page source. When
+    /// [`Config::reaper`] is set, the background reaper starts here.
     pub fn with_config(config: Config) -> Self {
-        Self::with_config_and_source(config, SystemSource::new())
+        let a = Self::with_config_and_source(config, SystemSource::new());
+        if config.reaper.is_some() {
+            a.start_reaper();
+        }
+        a
     }
 
     /// Fallible [`with_config`](Self::with_config).
     pub fn try_with_config(config: Config) -> Result<Self, OutOfMemory> {
-        Self::try_with_config_and_source(config, SystemSource::new())
+        let a = Self::try_with_config_and_source(config, SystemSource::new())?;
+        if config.reaper.is_some() {
+            a.start_reaper();
+        }
+        Ok(a)
     }
 }
 
@@ -257,6 +279,8 @@ impl<S: PageSource> LfMalloc<S> {
                 large_spans: SpanRegistry::new(),
                 misuse: MisuseCounters::new(),
                 quarantine,
+                health: crate::health::HealthState::new(),
+                reaper: crate::maintain::ReaperState::new(),
                 #[cfg(feature = "stats")]
                 stats,
             });
@@ -272,6 +296,23 @@ impl<S: PageSource> LfMalloc<S> {
     #[inline]
     pub(crate) fn inner(&self) -> &Inner<S> {
         unsafe { self.inner.as_ref() }
+    }
+
+    #[inline]
+    pub(crate) fn raw_inner(&self) -> NonNull<Inner<S>> {
+        self.inner
+    }
+
+    /// A borrowed, never-dropped handle over a raw instance pointer —
+    /// how the reaper thread reaches the full method surface.
+    ///
+    /// # Safety
+    ///
+    /// `inner` must point at a live instance and stay live for the
+    /// handle's whole lifetime; the `ManuallyDrop` wrapper must never be
+    /// taken out of.
+    pub(crate) unsafe fn borrow_raw(inner: NonNull<Inner<S>>) -> core::mem::ManuallyDrop<Self> {
+        core::mem::ManuallyDrop::new(LfMalloc { inner })
     }
 
     /// The active configuration.
@@ -351,6 +392,7 @@ impl<S: PageSource> LfMalloc<S> {
     /// Same quiescence contract as [`trim`](Self::trim).
     pub unsafe fn trim_to(&self, target_bytes: usize) -> usize {
         let inner = self.inner();
+        inner.health.note_watermark(target_bytes);
         // 0. Hardened mode: quarantined blocks pin their superblocks
         //    partially allocated; release them before hunting for fully
         //    free hyperblocks.
@@ -561,6 +603,10 @@ unsafe impl<S: PageSource + Send + Sync> RawMalloc for LfMalloc<S> {
 
 impl<S: PageSource> Drop for LfMalloc<S> {
     fn drop(&mut self) {
+        // 0. Stop and join the background reaper (if any) before any
+        //    state is torn down: a maintenance pass must never race
+        //    teardown.
+        crate::maintain::stop_reaper_inner(self.inner());
         unsafe {
             let inner = self.inner.as_ptr();
             // 1. Drain the hazard domain: retired descriptors return to
@@ -577,6 +623,7 @@ impl<S: PageSource> Drop for LfMalloc<S> {
             core::ptr::drop_in_place(core::ptr::addr_of_mut!((*inner).classes));
             core::ptr::drop_in_place(core::ptr::addr_of_mut!((*inner).source));
             core::ptr::drop_in_place(core::ptr::addr_of_mut!((*inner).large_spans));
+            core::ptr::drop_in_place(core::ptr::addr_of_mut!((*inner).reaper));
             #[cfg(feature = "stats")]
             core::ptr::drop_in_place(core::ptr::addr_of_mut!((*inner).stats));
             // Quarantine entries are plain addresses into memory already

@@ -59,8 +59,9 @@
 // Telemetry increment macros (crate-internal). With the `stats` feature
 // they hit the instance's shard/global counters; without it they expand
 // to nothing, so instrumented call sites compile to zero code — the
-// same contract as `malloc_api::fail_point!`. Local retry tallies feeding
-// `stat_hist!` use `_`-prefixed names so the dead increments fold away.
+// same contract as `malloc_api::fail_point!`. The local retry tallies
+// feeding `stat_hist!` are *not* feature-gated: they also feed the
+// always-on liveness watchdog (`health::watch`).
 #[cfg(feature = "stats")]
 macro_rules! stat {
     ($inner:expr, $heap:expr, $field:ident) => {
@@ -112,9 +113,11 @@ pub mod descriptor;
 pub mod free_impl;
 pub mod global;
 pub mod harden;
+pub mod health;
 pub mod heap;
 pub mod instance;
 pub mod large;
+pub mod maintain;
 pub mod partial;
 pub(crate) mod retry;
 pub mod size_classes;
@@ -125,6 +128,11 @@ pub use audit::{AuditReport, AuditViolation, ByteReconciliation};
 pub use config::{Config, HeapMode, PartialMode};
 pub use global::GlobalLfMalloc;
 pub use harden::{process_misuse_counters, Hardening, MisuseCounters, MisuseKind, MisuseReport};
+pub use health::{
+    process_liveness_counters, HealthSnapshot, LivenessConfig, LivenessPolicy, WatchSite,
+    DEFAULT_RETRY_CEILING, NUM_WATCH_SITES,
+};
 pub use instance::{LfMalloc, OutOfMemory};
+pub use maintain::{MaintenanceBudget, MaintenanceReport, ReaperConfig};
 #[cfg(feature = "stats")]
 pub use stats::{ClassStats, Event, EventKind, EventRing, StatsSnapshot};

@@ -22,7 +22,6 @@
 //! pre-allocated, never blocking. When full it overwrites the oldest
 //! event (pop once, retry) and counts what it had to drop.
 
-use crate::descriptor::Descriptor;
 use crate::heap::ProcHeap;
 use crate::instance::{Inner, LfMalloc};
 use crate::size_classes::{CLASS_SIZES, NUM_CLASSES};
@@ -55,6 +54,9 @@ pub(crate) struct ClassShard {
     pub free_local: Counter,
     /// Frees by a thread mapped to a different heap (remote frees).
     pub free_remote: Counter,
+    /// Frees issued during TLS teardown (thread identity gone); also
+    /// counted under `free_remote` — see `heap::try_thread_id`.
+    pub free_teardown: Counter,
     /// Frees that emptied their superblock (EMPTY transition).
     pub free_empty: Counter,
     /// `HeapPutPartial` executions (superblock parked partial).
@@ -84,6 +86,12 @@ pub enum EventKind {
     OomBackoff,
     /// `trim`/`trim_to` ran; `arg` is the bytes released.
     Trim,
+    /// The liveness watchdog detected a CAS retry storm; `arg` is the
+    /// [`WatchSite`](crate::health::WatchSite) index.
+    LivenessStorm,
+    /// A maintenance pass completed; `arg` is the number of objects it
+    /// acted on (reaped + flushed + pruned).
+    Maintain,
 }
 
 impl EventKind {
@@ -95,6 +103,8 @@ impl EventKind {
             EventKind::HeapTransition => "heap-transition",
             EventKind::OomBackoff => "oom-backoff",
             EventKind::Trim => "trim",
+            EventKind::LivenessStorm => "liveness-storm",
+            EventKind::Maintain => "maintain",
         }
     }
 }
@@ -261,6 +271,8 @@ pub struct ClassStats {
     pub malloc_newsb: u64,
     pub free_local: u64,
     pub free_remote: u64,
+    /// TLS-teardown frees (a subset of `free_remote`).
+    pub free_teardown: u64,
     pub free_empty: u64,
     pub partial_push: u64,
     pub partial_pop: u64,
@@ -289,6 +301,7 @@ impl ClassStats {
         self.malloc_newsb += shard.malloc_newsb.get();
         self.free_local += shard.free_local.get();
         self.free_remote += shard.free_remote.get();
+        self.free_teardown += shard.free_teardown.get();
         self.free_empty += shard.free_empty.get();
         self.partial_push += shard.partial_push.get();
         self.partial_pop += shard.partial_pop.get();
@@ -307,6 +320,7 @@ impl ClassStats {
         self.malloc_newsb += other.malloc_newsb;
         self.free_local += other.free_local;
         self.free_remote += other.free_remote;
+        self.free_teardown += other.free_teardown;
         self.free_empty += other.free_empty;
         self.partial_push += other.partial_push;
         self.partial_pop += other.partial_pop;
@@ -320,7 +334,8 @@ impl ClassStats {
     fn to_json(&self) -> String {
         format!(
             "{{\"class\":{},\"size\":{},\"malloc_fast\":{},\"malloc_slow\":{},\
-             \"malloc_newsb\":{},\"free_local\":{},\"free_remote\":{},\"free_empty\":{},\
+             \"malloc_newsb\":{},\"free_local\":{},\"free_remote\":{},\
+             \"free_teardown\":{},\"free_empty\":{},\
              \"partial_push\":{},\"partial_pop\":{},\"partial_reuse\":{},\
              \"active_cas\":{},\"anchor_cas\":{}}}",
             self.class,
@@ -330,6 +345,7 @@ impl ClassStats {
             self.malloc_newsb,
             self.free_local,
             self.free_remote,
+            self.free_teardown,
             self.free_empty,
             self.partial_push,
             self.partial_pop,
@@ -382,6 +398,10 @@ pub struct StatsSnapshot {
     /// The audit's byte reconciliation, computed from the same source
     /// of truth (`Inner::reconcile_bytes`) rather than re-derived.
     pub reconciliation: crate::audit::ByteReconciliation,
+    /// Liveness + maintenance health (same data as
+    /// [`LfMalloc::health`](crate::LfMalloc::health), taken in the same
+    /// snapshot).
+    pub health: crate::health::HealthSnapshot,
 }
 
 impl StatsSnapshot {
@@ -416,7 +436,8 @@ impl StatsSnapshot {
              \"munmap_calls\":{}}},\
              \"carves\":{{\"superblock\":{},\"descriptor\":{}}},\
              \"reconcile\":{{\"superblock_bytes\":{},\"descriptor_slab_bytes\":{},\
-             \"large_bytes\":{},\"source_live_bytes\":{},\"ok\":{}}}}}",
+             \"large_bytes\":{},\"source_live_bytes\":{},\"ok\":{}}},\
+             \"health\":{}}}",
             self.totals.to_json(),
             classes.join(","),
             self.large_alloc,
@@ -444,6 +465,7 @@ impl StatsSnapshot {
             r.large_bytes,
             r.source_live_bytes,
             r.reconciles(),
+            self.health.to_json(),
         )
     }
 }
@@ -485,6 +507,7 @@ impl<S: PageSource> LfMalloc<S> {
             sb_carves: inner.sb_pool.carve_count(),
             desc_carves: inner.desc_pool.carve_count(),
             reconciliation: inner.reconcile_bytes(),
+            health: self.health(),
         }
     }
 
@@ -514,10 +537,11 @@ impl<S: PageSource> LfMalloc<S> {
         )?;
         writeln!(
             w,
-            "frees:   {:>12}  (local {} / remote {} / emptied {} superblocks)",
+            "frees:   {:>12}  (local {} / remote {} [{} in TLS teardown] / emptied {} superblocks)",
             t.frees(),
             t.free_local,
             t.free_remote,
+            t.free_teardown,
             t.free_empty
         )?;
         writeln!(
@@ -563,6 +587,32 @@ impl<S: PageSource> LfMalloc<S> {
             s.sb_carves,
             s.desc_carves,
             if r.reconciles() { "" } else { "  [MISMATCH]" }
+        )?;
+        let h = &s.health;
+        writeln!(
+            w,
+            "health: {} (policy {}, ceiling {})  storms {}  throttles {}",
+            if h.is_degraded() { "DEGRADED" } else { "ok" },
+            h.policy.label(),
+            h.retry_ceiling,
+            h.storms_total(),
+            h.throttle_activations
+        )?;
+        writeln!(
+            w,
+            "maintenance: {} passes ({} reaper) — {} retired reaped, {} quarantine flushed, \
+             {} empty pruned, audit slices {}/{} flagged, last full audit {}",
+            h.maintain_passes,
+            h.reaper_passes,
+            h.reaped_retired,
+            h.quarantine_flushed,
+            h.empty_pruned,
+            h.audit_slice_flagged,
+            h.audit_slice_checked,
+            match h.last_audit_violations {
+                Some(v) => format!("{v} violations"),
+                None => "never ran".into(),
+            }
         )?;
         writeln!(w, "per size class (active classes only):")?;
         writeln!(
@@ -627,12 +677,6 @@ pub(crate) fn is_local_heap<S: PageSource>(inner: &Inner<S>, heap: &ProcHeap) ->
     core::ptr::eq(inner.heap_for(heap.class()), heap)
 }
 
-/// The owning heap of `desc` (always set before a descriptor
-/// circulates; points into the instance's heap table).
-#[inline]
-pub(crate) fn owner_heap<'a>(desc: *const Descriptor) -> &'a ProcHeap {
-    unsafe { &*(*desc).heap() }
-}
 
 #[cfg(test)]
 mod tests {

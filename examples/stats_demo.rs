@@ -76,7 +76,30 @@ fn main() {
     assert!(totals.free_remote > 0, "cross-thread frees must register as remote");
     assert!(totals.anchor_cas.iter().sum::<u64>() > 0, "anchor CAS histogram empty");
 
-    // Machine-readable snapshot, last line of stdout by contract.
+    // One thorough maintenance pass, then the health verdict. All the
+    // workers are joined, so the quiescent-trim contract holds and the
+    // pass may also shrink the OS footprint.
+    let before = a.as_ref().os_stats().live_bytes;
+    let budget = unsafe { MaintenanceBudget::full().with_quiescent_trim(4 << 20) };
+    let rep = a.as_ref().maintain(budget);
+    println!(
+        "\nMaintenance pass: {} retired reaped, {} empty pruned, {}/{} audit slice flagged, \
+         {} bytes trimmed ({} -> {} live)",
+        rep.reaped_retired,
+        rep.empty_pruned,
+        rep.audit_flagged,
+        rep.audit_checked,
+        rep.bytes_trimmed,
+        before,
+        a.as_ref().os_stats().live_bytes
+    );
+    let health = a.as_ref().health();
+    println!("Health: {}", health.to_json());
+    assert!(!health.is_degraded(), "healthy run must not report degradation");
+
+    // Machine-readable snapshot (with the embedded health object),
+    // last line of stdout by contract.
+    let snap = a.as_ref().stats();
     println!();
     println!("{}", snap.to_json());
 }

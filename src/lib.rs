@@ -42,8 +42,9 @@ pub mod prelude {
     pub use dlheap::LockedHeap;
     pub use hoard::Hoard;
     pub use lfmalloc::{
-        Config, GlobalLfMalloc, Hardening, HeapMode, LfMalloc, MisuseKind, MisuseReport,
-        PartialMode,
+        Config, GlobalLfMalloc, Hardening, HealthSnapshot, HeapMode, LfMalloc, LivenessConfig,
+        LivenessPolicy, MaintenanceBudget, MaintenanceReport, MisuseKind, MisuseReport,
+        PartialMode, ReaperConfig, WatchSite,
     };
     pub use malloc_api::{AllocStats, RawMalloc};
     pub use ptmalloc::Ptmalloc;

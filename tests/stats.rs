@@ -195,3 +195,29 @@ fn event_ring_never_blocks_the_hot_path() {
         );
     }
 }
+
+#[test]
+fn health_and_maintenance_land_in_stats_surface() {
+    // The health snapshot is part of the stats surface: embedded in the
+    // JSON, rendered by dump_stats, and advanced by maintain().
+    let a = LfMalloc::with_config(Config::with_heaps(2));
+    unsafe {
+        let p = a.malloc(256);
+        assert!(!p.is_null());
+        a.free(p);
+    }
+    a.maintain(MaintenanceBudget::full());
+    let s = a.stats();
+    assert_eq!(s.health.maintain_passes, 1);
+    assert_eq!(s.health.storms_total(), 0);
+    let json = s.to_json();
+    assert!(json.contains("\"health\":{\"degraded\":false"), "{json}");
+    assert!(json.contains("\"maintain_passes\":1"), "{json}");
+    assert!(json.contains("\"free_teardown\":"), "{json}");
+    let mut out = Vec::new();
+    a.dump_stats(&mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.contains("health: ok"), "{text}");
+    assert!(text.contains("maintenance: 1 passes"), "{text}");
+    assert!(text.contains("TLS teardown"), "{text}");
+}

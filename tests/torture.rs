@@ -214,7 +214,12 @@ mod failpoint_scenarios {
             let _guard = fp::scenario(seed);
             arm_combined_scenario();
 
-            let a = Arc::new(LfMalloc::with_config(Config::with_heaps(1)));
+            // The background reaper rides along: its maintenance passes
+            // run concurrently with the churn *and* the failpoint storm,
+            // so the self-healing paths face the same adversary.
+            let cfg = Config::with_heaps(1)
+                .with_reaper(ReaperConfig::every(std::time::Duration::from_millis(2)));
+            let a = Arc::new(LfMalloc::with_config(cfg));
             let mut workers = Vec::new();
             for t in 0..2u64 {
                 let a = Arc::clone(&a);
@@ -231,6 +236,8 @@ mod failpoint_scenarios {
             for (name, _count) in &fired {
                 fired_total.insert(name);
             }
+            // Quiesce the reaper before the audit walks the structures.
+            a.stop_reaper();
             assert_clean(&*a, "combined failpoint torture", seed);
         }
 
