@@ -45,23 +45,48 @@ pub(crate) unsafe fn malloc_small<S: PageSource>(
     ci: usize,
     off: usize,
 ) -> *mut u8 {
+    // Intentionally planted bug, reachable only when the
+    // `alloc.double_handout` failpoint is armed: hand out the previous
+    // allocation of the same size class a second time — the observable
+    // shape of a lost Active-word CAS that pops a stale reservation.
+    // The shadow-heap oracle (crates/oracle) must catch this at the
+    // duplicate insert, before the caller ever writes to the block.
+    #[cfg(feature = "failpoints")]
+    {
+        if malloc_api::fail_point!("alloc.double_handout").retry {
+            let stale = inner.bug_stash.load(Ordering::Relaxed);
+            if stale != 0 && inner.bug_stash_ci.load(Ordering::Relaxed) == ci {
+                return stale as *mut u8;
+            }
+        }
+    }
+    #[cfg(feature = "failpoints")]
+    let stash = |p: *mut u8| {
+        if !p.is_null() {
+            inner.bug_stash_ci.store(ci, Ordering::Relaxed);
+            inner.bug_stash.store(p as usize, Ordering::Relaxed);
+        }
+        p
+    };
+    #[cfg(not(feature = "failpoints"))]
+    let stash = |p: *mut u8| p;
     let heap = inner.heap_for(ci);
     loop {
         if let Some((block, desc)) = unsafe { malloc_from_active(inner, heap) } {
             crate::stat!(inner, heap, malloc_fast);
             unsafe { note_alloc(inner, block, desc) };
-            return unsafe { finish_block(block, desc, off) };
+            return stash(unsafe { finish_block(block, desc, off) });
         }
         if let Some((block, desc)) = unsafe { malloc_from_partial(inner, heap) } {
             crate::stat!(inner, heap, malloc_slow);
             unsafe { note_alloc(inner, block, desc) };
-            return unsafe { finish_block(block, desc, off) };
+            return stash(unsafe { finish_block(block, desc, off) });
         }
         match unsafe { malloc_from_new_sb(inner, heap) } {
             NewSb::Done(Some((block, desc))) => {
                 crate::stat!(inner, heap, malloc_newsb);
                 unsafe { note_alloc(inner, block, desc) };
-                return unsafe { finish_block(block, desc, off) };
+                return stash(unsafe { finish_block(block, desc, off) });
             }
             NewSb::Done(None) => return core::ptr::null_mut(),
             NewSb::Lost => continue,

@@ -71,6 +71,14 @@ pub(crate) struct Inner<S: PageSource> {
     pub health: crate::health::HealthState,
     /// Background-reaper control plane (see [`crate::maintain`]).
     pub reaper: crate::maintain::ReaperState,
+    /// Planted-bug state for the shadow-heap oracle tests: the most
+    /// recent small block handed out, plus its class index. Only read
+    /// when the `alloc.double_handout` failpoint is armed; see
+    /// [`crate::alloc::malloc_small`].
+    #[cfg(feature = "failpoints")]
+    pub bug_stash: AtomicUsize,
+    #[cfg(feature = "failpoints")]
+    pub bug_stash_ci: AtomicUsize,
     /// Telemetry: the shard array, global counters, and the event ring.
     #[cfg(feature = "stats")]
     pub stats: crate::stats::InstanceStats,
@@ -281,6 +289,10 @@ impl<S: PageSource> LfMalloc<S> {
                 quarantine,
                 health: crate::health::HealthState::new(),
                 reaper: crate::maintain::ReaperState::new(),
+                #[cfg(feature = "failpoints")]
+                bug_stash: AtomicUsize::new(0),
+                #[cfg(feature = "failpoints")]
+                bug_stash_ci: AtomicUsize::new(usize::MAX),
                 #[cfg(feature = "stats")]
                 stats,
             });
@@ -504,6 +516,44 @@ impl<S: PageSource> LfMalloc<S> {
         }
     }
 
+    /// Allocates `size` zeroed bytes.
+    ///
+    /// Small blocks come from recycled superblocks and are always
+    /// explicitly zeroed. Large blocks go straight to the page source
+    /// and are never pooled (see [`crate::large`]), so when the source
+    /// guarantees zero-filled fresh pages
+    /// ([`PageSource::zeroes_fresh_pages`]) the memset is skipped — the
+    /// user area of a fresh large block is provably untouched (the
+    /// prefix word sits below the user pointer and hardened canaries sit
+    /// beyond the user extent).
+    ///
+    /// # Safety
+    ///
+    /// Standard malloc contract; see [`RawMalloc::malloc_zeroed`].
+    pub unsafe fn allocate_zeroed(&self, size: usize) -> *mut u8 {
+        let inner = self.inner();
+        let off = PREFIX_SIZE;
+        let Some(total) = size.checked_add(off) else {
+            return core::ptr::null_mut();
+        };
+        match class_index(total) {
+            Some(ci) => {
+                let p = unsafe { crate::alloc::malloc_small(inner, ci, off) };
+                if !p.is_null() {
+                    unsafe { core::ptr::write_bytes(p, 0, size) };
+                }
+                p
+            }
+            None => {
+                let p = unsafe { crate::large::alloc_large(inner, size, PREFIX_SIZE) };
+                if !p.is_null() && !inner.source.zeroes_fresh_pages() {
+                    unsafe { core::ptr::write_bytes(p, 0, size) };
+                }
+                p
+            }
+        }
+    }
+
     /// Crash-tolerance test hook: reserves a block from the calling
     /// thread's heap for size class of `size` and abandons the
     /// operation, as if the reserving thread were killed mid-`malloc`
@@ -590,6 +640,10 @@ unsafe impl<S: PageSource + Send + Sync> RawMalloc for LfMalloc<S> {
 
     unsafe fn malloc_aligned(&self, size: usize, align: usize) -> *mut u8 {
         unsafe { self.allocate(size, align) }
+    }
+
+    unsafe fn malloc_zeroed(&self, size: usize) -> *mut u8 {
+        unsafe { self.allocate_zeroed(size) }
     }
 
     unsafe fn usable_size(&self, ptr: *mut u8) -> usize {

@@ -132,6 +132,29 @@ pub unsafe trait RawMalloc: Sync {
         p
     }
 
+    /// Allocates an array of `count` elements of `size` bytes each, all
+    /// zeroed — the C `calloc` contract. The `count * size` multiply is
+    /// overflow-checked: requests whose product does not fit a `usize`
+    /// must fail cleanly with null, never wrap into a small allocation
+    /// (the classic calloc CVE shape). `count == 0` or `size == 0`
+    /// behaves like `malloc(0)`: a valid, unique, freeable pointer.
+    ///
+    /// The default routes through [`malloc_zeroed`](Self::malloc_zeroed)
+    /// (malloc + explicit memset). Allocators whose fresh memory is
+    /// provably zero (e.g. straight-from-OS large blocks) may override
+    /// to skip the memset — `testkit::check_calloc` pins the observable
+    /// contract either way.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`RawMalloc::malloc`].
+    unsafe fn calloc(&self, count: usize, size: usize) -> *mut u8 {
+        let Some(total) = count.checked_mul(size) else {
+            return core::ptr::null_mut();
+        };
+        unsafe { self.malloc_zeroed(total) }
+    }
+
     /// Number of usable bytes in the block at `ptr` (at least the
     /// requested size; possibly more due to size-class rounding).
     /// Returns 0 when the allocator cannot tell (the conservative
@@ -200,6 +223,9 @@ unsafe impl<A: RawMalloc + ?Sized> RawMalloc for &A {
     unsafe fn malloc_aligned(&self, size: usize, align: usize) -> *mut u8 {
         (**self).malloc_aligned(size, align)
     }
+    unsafe fn calloc(&self, count: usize, size: usize) -> *mut u8 {
+        (**self).calloc(count, size)
+    }
     unsafe fn usable_size(&self, ptr: *mut u8) -> usize {
         (**self).usable_size(ptr)
     }
@@ -223,6 +249,9 @@ unsafe impl<A: RawMalloc + Send + ?Sized> RawMalloc for std::sync::Arc<A> {
     }
     unsafe fn malloc_aligned(&self, size: usize, align: usize) -> *mut u8 {
         (**self).malloc_aligned(size, align)
+    }
+    unsafe fn calloc(&self, count: usize, size: usize) -> *mut u8 {
+        (**self).calloc(count, size)
     }
     unsafe fn usable_size(&self, ptr: *mut u8) -> usize {
         (**self).usable_size(ptr)

@@ -73,6 +73,65 @@ pub unsafe fn check_fill(p: *mut u8, size: usize) {
     }
 }
 
+/// Fills `size` bytes at `p` with a pattern derived from `nonce`
+/// (position-based, **not** address-based, so the pattern survives a
+/// moving `realloc` and can be re-verified at the new address).
+///
+/// # Safety
+///
+/// `p` must point to at least `size` writable bytes.
+pub unsafe fn fill_seeded(p: *mut u8, size: usize, nonce: u64) {
+    let tag = nonce.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xD6E8_FEB8_6659_FD93;
+    for i in 0..size {
+        unsafe { *p.add(i) = (tag >> ((i % 8) * 8)) as u8 ^ (i as u8) };
+    }
+}
+
+/// Verifies a pattern written by [`fill_seeded`] with the same `nonce`;
+/// panics on the first mismatching byte.
+///
+/// # Safety
+///
+/// `p` must point to at least `size` readable bytes.
+pub unsafe fn check_seeded(p: *mut u8, size: usize, nonce: u64) {
+    let tag = nonce.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xD6E8_FEB8_6659_FD93;
+    for i in 0..size {
+        let want = (tag >> ((i % 8) * 8)) as u8 ^ (i as u8);
+        let got = unsafe { *p.add(i) };
+        assert_eq!(
+            got, want,
+            "corrupted byte {i} of block {:p} (size {size}, nonce {nonce:#x}): got {got:#x}, want {want:#x}",
+            p
+        );
+    }
+}
+
+/// Runs `scenario` once per seed, re-panicking any failure with the
+/// seed prepended in a uniform, grep-able form:
+///
+/// ```text
+/// [seed 0xF00D_0002] <scenario name>: <original panic message>
+/// ```
+///
+/// Every multi-seed test (torture, liveness, memory-pressure,
+/// hardening, oracle differential) routes its loop through this helper
+/// so a failing seed is always printed and can be fed straight back to
+/// a one-seed rerun or to the trace replayer (see EXPERIMENTS.md,
+/// "Record → shrink → replay").
+pub fn for_each_seed<F: FnMut(u64)>(name: &str, seeds: &[u64], mut scenario: F) {
+    for &seed in seeds {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| scenario(seed)));
+        if let Err(payload) = result {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&'static str>().copied())
+                .unwrap_or("<non-string panic payload>");
+            panic!("[seed {seed:#x}] {name}: {msg}");
+        }
+    }
+}
+
 /// Claims an exclusive-ownership canary word at `addr` and immediately
 /// releases it: the word must be 0 (unclaimed), is swapped to 1, checked,
 /// and stored back to 0. Two threads holding the "same" resource at once
@@ -150,6 +209,98 @@ pub fn check_overflow<A: RawMalloc>(alloc: &A) {
         ] {
             let p = alloc.malloc_aligned(sz, align);
             assert!(p.is_null(), "malloc_aligned({sz:#x}, {align:#x}) must fail cleanly");
+        }
+    }
+}
+
+/// The C `calloc` contract: zeroed memory, overflow-checked multiply,
+/// zero-element arrays valid and unique. Covers small, class-boundary,
+/// and large (straight-to-OS) shapes so allocators with a fresh-page
+/// fast path are held to the same observable behavior as the
+/// malloc+memset default.
+pub fn check_calloc<A: RawMalloc>(alloc: &A) {
+    unsafe {
+        for &(count, size) in &[
+            (1usize, 1usize),
+            (3, 8),
+            (7, 24),
+            (100, 10),
+            (1, 4096),
+            (13, 1000),   // crosses into larger classes
+            (5, 20_000),  // large path
+            (1, 1 << 20), // large path, single element
+        ] {
+            let p = alloc.calloc(count, size);
+            assert!(!p.is_null(), "calloc({count}, {size}) returned null");
+            assert_eq!(
+                (p as usize) % MIN_MALLOC_ALIGN,
+                0,
+                "calloc({count}, {size}) misaligned"
+            );
+            let total = count * size;
+            for i in 0..total {
+                assert_eq!(
+                    *p.add(i),
+                    0,
+                    "calloc({count}, {size}): byte {i} not zeroed"
+                );
+            }
+            // The memory is ours: write it, free it.
+            fill(p, total.min(4096));
+            alloc.free(p);
+        }
+        // Overflowing products fail cleanly — never wrap into a small
+        // allocation.
+        for &(count, size) in &[
+            (usize::MAX, 2usize),
+            (2, usize::MAX),
+            (usize::MAX / 2 + 1, 2),
+            ((1usize << 33), 1usize << 33),
+        ] {
+            let p = alloc.calloc(count, size);
+            assert!(p.is_null(), "calloc({count:#x}, {size:#x}) must fail cleanly, got {p:p}");
+        }
+        // Zero-element arrays behave like malloc(0): valid and unique.
+        let a = alloc.calloc(0, 16);
+        let b = alloc.calloc(16, 0);
+        assert!(!a.is_null() && !b.is_null(), "calloc with a zero dimension must succeed");
+        assert_ne!(a, b, "two live zero-size calloc blocks must be distinct");
+        alloc.free(a);
+        alloc.free(b);
+    }
+}
+
+/// The C `realloc` content contract: `min(old, new)` bytes survive,
+/// across shrink-in-place, same-class growth, cross-size-class moves,
+/// and the small↔large boundary in both directions. (The pointer-level
+/// behavior is pinned by each allocator's own tests; this check is
+/// about the *bytes*.)
+pub fn check_realloc_contents<A: RawMalloc>(alloc: &A, seed: u64) {
+    let cases: &[(usize, usize)] = &[
+        (64, 24),        // shrink within / across small classes
+        (40, 40),        // same size
+        (24, 25),        // nudge across a class boundary
+        (100, 5_000),    // grow across size classes
+        (5_000, 96),     // shrink back down
+        (300, 100_000),  // small -> large
+        (100_000, 512),  // large -> small
+        (70_000, 90_000) // large -> large
+    ];
+    let mut rng = TestRng::new(seed);
+    for (i, &(old, new)) in cases.iter().enumerate() {
+        let nonce = rng.next_u64() ^ i as u64;
+        unsafe {
+            let p = alloc.malloc(old);
+            assert!(!p.is_null(), "malloc({old}) returned null");
+            fill_seeded(p, old, nonce);
+            let q = alloc.realloc(p, old, new);
+            assert!(!q.is_null(), "realloc({old} -> {new}) returned null");
+            // The realloc contract: min(old, new) bytes preserved.
+            check_seeded(q, old.min(new), nonce);
+            // And the whole new extent is writable.
+            fill_seeded(q, new, nonce ^ 1);
+            check_seeded(q, new, nonce ^ 1);
+            alloc.free(q);
         }
     }
 }
@@ -306,6 +457,8 @@ pub fn check_all<A: RawMalloc + Send + Sync + 'static>(alloc: Arc<A>) {
     check_basic(&*alloc);
     check_zero_size(&*alloc);
     check_overflow(&*alloc);
+    check_calloc(&*alloc);
+    check_realloc_contents(&*alloc, 42);
     check_large(&*alloc);
     check_free_orders(&*alloc, 42);
     check_churn(&*alloc, 128, 2_000, 7);
@@ -352,5 +505,46 @@ mod tests {
             buf[17] ^= 0xFF;
             check_fill(buf.as_mut_ptr(), buf.len());
         }
+    }
+
+    #[test]
+    fn seeded_fill_is_position_based() {
+        // The same nonce verifies at a different address — the property
+        // the realloc content check relies on.
+        let mut a = vec![0u8; 200];
+        let mut b = vec![0u8; 200];
+        unsafe {
+            fill_seeded(a.as_mut_ptr(), 200, 0xABCD);
+            b.copy_from_slice(&a);
+            check_seeded(b.as_mut_ptr(), 200, 0xABCD);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonce")]
+    fn seeded_check_detects_corruption() {
+        let mut buf = vec![0u8; 64];
+        unsafe {
+            fill_seeded(buf.as_mut_ptr(), 64, 7);
+            buf[3] ^= 0x10;
+            check_seeded(buf.as_mut_ptr(), 64, 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "[seed 0x2] demo: boom at 2")]
+    fn for_each_seed_reports_failing_seed() {
+        for_each_seed("demo", &[1, 2, 3], |seed| {
+            if seed == 2 {
+                panic!("boom at {seed}");
+            }
+        });
+    }
+
+    #[test]
+    fn for_each_seed_runs_every_seed_in_order() {
+        let mut seen = Vec::new();
+        for_each_seed("demo", &[5, 6, 7], |s| seen.push(s));
+        assert_eq!(seen, [5, 6, 7]);
     }
 }

@@ -1,0 +1,47 @@
+//! Shadow-heap differential oracle for the allocator workspace.
+//!
+//! The paper's correctness argument rests on the Active/Anchor/credits
+//! CAS protocols; when those break, the failure is silent cross-thread
+//! memory corruption — a block handed to two owners, a remote free
+//! lost, realloc dropping user bytes. The metadata walker
+//! (`lfmalloc::audit`) and the hardened free path check allocator
+//! *bookkeeping*; neither ever looks at user-visible *contents* or at
+//! behavioral agreement between allocators. This crate supplies that
+//! third leg:
+//!
+//! * [`OracleMalloc`] — a [`RawMalloc`](malloc_api::RawMalloc) wrapper
+//!   that mirrors every malloc/free/realloc into a lock-free shadow map
+//!   ([`shadow::ShadowMap`]) and asserts non-overlap of live blocks,
+//!   alignment and usable-size contracts, calloc zeroing, and content
+//!   integrity via per-block seeded fill patterns verified at
+//!   free/realloc time.
+//! * [`trace`] — a compact text format for per-thread op logs (thread,
+//!   op, logical slot, sizes, failpoint plans, scenario seed), a
+//!   deterministic generator, and a recorder the workloads use.
+//! * [`replay`] — re-executes a trace against any allocator with a
+//!   turn-ticket scheduler (one op in flight at a time, in recorded
+//!   global order), re-arming the trace's seeded failpoint plans, so
+//!   every torture failure becomes a checked-in artifact instead of a
+//!   flake.
+//! * [`shrink`] — a delta-debugging reducer that minimizes a failing
+//!   trace (chunk removal, then per-op elimination) while re-running
+//!   the replayer each step; minimized repros live in `tests/corpus/`.
+//!
+//! The oracle composes with, rather than duplicates, the existing
+//! checks: `audit()` proves the allocator's internal accounting is
+//! consistent, hardening proves frees carry valid provenance, and the
+//! oracle proves the *user-visible* heap behaves like a heap.
+
+pub mod replay;
+pub mod shadow;
+pub mod shrink;
+pub mod subjects;
+pub mod trace;
+pub mod wrapper;
+
+pub use replay::{replay, ReplayOutcome};
+pub use shadow::{ShadowBlock, ShadowMap};
+pub use shrink::shrink;
+pub use subjects::{all_subjects, subject, Subject, SUBJECT_NAMES};
+pub use trace::{Expectation, FpActionSpec, FpPlan, FpTriggerSpec, Trace, TraceEvent, TraceOp, TraceRecorder};
+pub use wrapper::{Mode, OracleConfig, OracleMalloc, Violation};

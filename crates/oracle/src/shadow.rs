@@ -1,0 +1,353 @@
+//! The lock-free shadow map: live-block bookkeeping the oracle keeps
+//! *beside* the allocator under test.
+//!
+//! A fixed-capacity open-addressing hash table keyed by user pointer.
+//! Each slot is one `AtomicUsize` key plus an adjacent metadata cell;
+//! the key encodes the slot's lifecycle:
+//!
+//! | key value  | meaning                                            |
+//! |------------|----------------------------------------------------|
+//! | `0`        | empty, never used                                  |
+//! | `1`        | tombstone (a block lived here and was freed)       |
+//! | `ptr \| 1` | transient: an inserter/remover owns the metadata   |
+//! | `ptr`      | live block at `ptr`                                |
+//!
+//! User pointers are at least 8-byte aligned, so `ptr | 1` can never
+//! collide with a live key or the tombstone. Inserters claim a reusable
+//! slot by CAS to `ptr | 1`, write the metadata, then publish with a
+//! release store of `ptr`; removers do the reverse. The map never
+//! allocates after construction and never blocks, so it can sit on the
+//! malloc path of the allocator it is checking without distorting the
+//! interleavings under test.
+//!
+//! Duplicate detection: an insert first scans the whole probe chain for
+//! `ptr` (catching a double-hand-out of a still-live block), claims the
+//! first reusable slot, publishes, then rescans — so when two threads
+//! are handed the same block *concurrently*, at least one of the
+//! inserts observes the other. Overlap of distinct blocks is not
+//! checked per-op (that needs a global ordered view); it is checked by
+//! [`ShadowMap::snapshot`]-based sweeps at quiescent points — a
+//! concurrent sweep could tear between a free and a reuse and report a
+//! false overlap, so [`crate::wrapper::OracleMalloc::verify_all`] is
+//! documented quiescent-only.
+
+use core::cell::UnsafeCell;
+use core::sync::atomic::{AtomicUsize, Ordering};
+
+const EMPTY: usize = 0;
+const TOMB: usize = 1;
+
+/// Metadata mirrored for one live block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShadowBlock {
+    /// Requested (user) size in bytes.
+    pub size: usize,
+    /// Alignment the caller asked for.
+    pub align: usize,
+    /// Seed of the fill pattern currently written over the block
+    /// (meaningful only when the wrapper runs with fill checking).
+    pub nonce: u64,
+    /// Logical slot id, for trace recording; `u64::MAX` when untracked.
+    pub slot: u64,
+}
+
+struct Slot {
+    key: AtomicUsize,
+    meta: UnsafeCell<ShadowBlock>,
+}
+
+/// Why an insert was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertError {
+    /// The pointer is already live in the map: the allocator handed the
+    /// same block out twice.
+    Duplicate(ShadowBlock),
+    /// The table is full — an infrastructure limit, not a heap bug.
+    Full,
+}
+
+/// The lock-free shadow map. See the module docs for the protocol.
+pub struct ShadowMap {
+    slots: Box<[Slot]>,
+    mask: usize,
+    /// Approximate live count (maintained with relaxed increments).
+    len: AtomicUsize,
+}
+
+// The UnsafeCell metadata is only touched by the thread that holds the
+// slot's transient `ptr | 1` lock, established by CAS.
+unsafe impl Send for ShadowMap {}
+unsafe impl Sync for ShadowMap {}
+
+impl ShadowMap {
+    /// Builds a map with capacity for roughly `capacity` live blocks
+    /// (rounded up to a power of two, minimum 64). The map itself
+    /// allocates through the Rust global allocator — the oracle is test
+    /// infrastructure and is never installed as the global allocator.
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(64).next_power_of_two();
+        let slots: Vec<Slot> = (0..cap)
+            .map(|_| Slot {
+                key: AtomicUsize::new(EMPTY),
+                meta: UnsafeCell::new(ShadowBlock { size: 0, align: 0, nonce: 0, slot: 0 }),
+            })
+            .collect();
+        ShadowMap { slots: slots.into_boxed_slice(), mask: cap - 1, len: AtomicUsize::new(0) }
+    }
+
+    fn hash(&self, ptr: usize) -> usize {
+        // splitmix64 finalizer over the pointer sans alignment bits.
+        let mut z = (ptr >> 3) as u64;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as usize & self.mask
+    }
+
+    /// Scans `ptr`'s whole probe chain (bounded by table size) for a
+    /// live or in-flight entry with this key.
+    fn find_live(&self, ptr: usize) -> Option<ShadowBlock> {
+        let start = self.hash(ptr);
+        for i in 0..=self.mask {
+            let slot = &self.slots[(start + i) & self.mask];
+            let key = slot.key.load(Ordering::Acquire);
+            if key == ptr || key == (ptr | 1) {
+                // In-flight metadata may be mid-write; the caller only
+                // uses this for violation reports, where a torn size is
+                // acceptable (the *presence* is the finding).
+                return Some(unsafe { *slot.meta.get() });
+            }
+            if key == EMPTY {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Registers a freshly handed-out block.
+    ///
+    /// `Err(Duplicate)` means `ptr` was already live — the allocator
+    /// double-handed-out a block. `Err(Full)` means the table is out of
+    /// room (raise the wrapper's capacity).
+    pub fn insert(&self, ptr: usize, meta: ShadowBlock) -> Result<(), InsertError> {
+        debug_assert!(ptr & 1 == 0 && ptr > TOMB);
+        if let Some(existing) = self.find_live(ptr) {
+            return Err(InsertError::Duplicate(existing));
+        }
+        let start = self.hash(ptr);
+        for i in 0..=self.mask {
+            let slot = &self.slots[(start + i) & self.mask];
+            let key = slot.key.load(Ordering::Acquire);
+            if key == ptr || key == (ptr | 1) {
+                return Err(InsertError::Duplicate(unsafe { *slot.meta.get() }));
+            }
+            if key == EMPTY || key == TOMB {
+                if slot
+                    .key
+                    .compare_exchange(key, ptr | 1, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    unsafe { *slot.meta.get() = meta };
+                    slot.key.store(ptr, Ordering::Release);
+                    self.len.fetch_add(1, Ordering::Relaxed);
+                    // Rescan: if another thread was handed the same
+                    // pointer concurrently and published elsewhere in
+                    // the chain, one of us must see the other.
+                    if self.count_live(ptr) > 1 {
+                        return Err(InsertError::Duplicate(meta));
+                    }
+                    return Ok(());
+                }
+                // Lost the slot to a concurrent insert; re-examine it.
+                continue;
+            }
+        }
+        Err(InsertError::Full)
+    }
+
+    /// Number of distinct slots currently holding `ptr` (live or
+    /// in-flight). More than one means a double-hand-out slipped past
+    /// both inserters' pre-scans.
+    fn count_live(&self, ptr: usize) -> usize {
+        let start = self.hash(ptr);
+        let mut n = 0;
+        for i in 0..=self.mask {
+            let slot = &self.slots[(start + i) & self.mask];
+            let key = slot.key.load(Ordering::Acquire);
+            if key == ptr || key == (ptr | 1) {
+                n += 1;
+            } else if key == EMPTY {
+                break;
+            }
+        }
+        n
+    }
+
+    /// Unregisters a block at free/realloc time, returning its
+    /// metadata. `None` means the pointer was not live: a double free
+    /// or a free of a pointer the wrapper never saw.
+    pub fn remove(&self, ptr: usize) -> Option<ShadowBlock> {
+        debug_assert!(ptr & 1 == 0 && ptr > TOMB);
+        let start = self.hash(ptr);
+        for i in 0..=self.mask {
+            let slot = &self.slots[(start + i) & self.mask];
+            let key = slot.key.load(Ordering::Acquire);
+            if key == ptr {
+                if slot
+                    .key
+                    .compare_exchange(ptr, ptr | 1, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    let meta = unsafe { *slot.meta.get() };
+                    slot.key.store(TOMB, Ordering::Release);
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                    return Some(meta);
+                }
+                // A racing remover got it first: that is a double free
+                // happening *right now*; fall through and keep probing
+                // (we will hit EMPTY and report NotFound).
+                continue;
+            }
+            if key == EMPTY {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Approximate number of live blocks.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// True when no blocks are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All live `(ptr, meta)` pairs, sorted by pointer.
+    ///
+    /// Only meaningful at a quiescent point (no concurrent map
+    /// mutations); a concurrent snapshot can tear across a free+reuse
+    /// and must not be fed to the overlap sweep.
+    pub fn snapshot(&self) -> Vec<(usize, ShadowBlock)> {
+        let mut v: Vec<(usize, ShadowBlock)> = self
+            .slots
+            .iter()
+            .filter_map(|slot| {
+                let key = slot.key.load(Ordering::Acquire);
+                if key > TOMB && key & 1 == 0 {
+                    Some((key, unsafe { *slot.meta.get() }))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        v.sort_unstable_by_key(|(p, _)| *p);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(size: usize) -> ShadowBlock {
+        ShadowBlock { size, align: 8, nonce: 1, slot: 0 }
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let m = ShadowMap::new(64);
+        assert!(m.insert(0x1000, meta(32)).is_ok());
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.remove(0x1000), Some(meta(32)));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn duplicate_insert_is_detected() {
+        let m = ShadowMap::new(64);
+        m.insert(0x2000, meta(16)).unwrap();
+        match m.insert(0x2000, meta(16)) {
+            Err(InsertError::Duplicate(existing)) => assert_eq!(existing.size, 16),
+            other => panic!("expected Duplicate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn remove_of_unknown_pointer_is_none() {
+        let m = ShadowMap::new(64);
+        m.insert(0x3000, meta(8)).unwrap();
+        assert_eq!(m.remove(0x3008), None);
+        assert_eq!(m.remove(0x3000), Some(meta(8)));
+        assert_eq!(m.remove(0x3000), None, "double free must not find the tombstone");
+    }
+
+    #[test]
+    fn tombstones_are_reused_and_chains_stay_findable() {
+        let m = ShadowMap::new(64);
+        // Exercise collision chains + tombstone reuse far past capacity.
+        for round in 0..10usize {
+            let base = 0x10_0000 + round * 0x40;
+            for k in 0..50usize {
+                m.insert(base + k * 8, meta(k + 1)).unwrap();
+            }
+            for k in 0..50usize {
+                assert_eq!(m.remove(base + k * 8).unwrap().size, k + 1);
+            }
+            assert!(m.is_empty());
+        }
+    }
+
+    #[test]
+    fn full_table_reports_full() {
+        let m = ShadowMap::new(64); // rounds to 64 slots
+        let mut inserted = 0;
+        for k in 0..200usize {
+            match m.insert(0x8000 + k * 8, meta(8)) {
+                Ok(()) => inserted += 1,
+                Err(InsertError::Full) => break,
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert_eq!(inserted, 64);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let m = ShadowMap::new(64);
+        for ptr in [0x5000usize, 0x1000, 0x9000, 0x3000] {
+            m.insert(ptr, meta(ptr & 0xFFFF)).unwrap();
+        }
+        let snap = m.snapshot();
+        let ptrs: Vec<usize> = snap.iter().map(|(p, _)| *p).collect();
+        assert_eq!(ptrs, [0x1000, 0x3000, 0x5000, 0x9000]);
+    }
+
+    #[test]
+    fn concurrent_churn_stays_consistent() {
+        let m = std::sync::Arc::new(ShadowMap::new(1 << 12));
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let m = std::sync::Arc::clone(&m);
+                std::thread::spawn(move || {
+                    // Disjoint pointer ranges per thread: all inserts
+                    // must succeed, all removes must find their block.
+                    let base = 0x100_0000 * (t as usize + 1);
+                    for round in 0..50 {
+                        for k in 0..100usize {
+                            m.insert(base + k * 8, meta(round + 1)).unwrap();
+                        }
+                        for k in 0..100usize {
+                            assert_eq!(m.remove(base + k * 8).unwrap().size, round + 1);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(m.is_empty());
+    }
+}

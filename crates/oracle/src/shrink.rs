@@ -1,0 +1,138 @@
+//! Delta-debugging trace reduction (ddmin, Zeller & Hildebrandt).
+//!
+//! Given a failing trace and a predicate "does this trace still fail?",
+//! repeatedly tries removing chunks of ops — halving granularity on
+//! failure to make progress — then finishes with a per-op elimination
+//! pass and a thread-count trim. Traces are subset-closed under the
+//! replayer (ops on dead slots are no-ops), so every candidate is well
+//! formed and the predicate is the only arbiter.
+//!
+//! The predicate re-runs the replayer against a *fresh* allocator each
+//! attempt; with seeded failpoint plans re-armed per replay, "still
+//! fails" is deterministic. Note the predicate is "any violation", not
+//! "the identical violation": removing ops shifts failpoint hit counts,
+//! so a candidate may fail *differently* — ddmin keeps it either way,
+//! which only ever makes the repro smaller.
+
+use crate::trace::Trace;
+
+/// Hard cap on predicate invocations so a pathological trace cannot
+/// spin the shrinker forever.
+const MAX_ATTEMPTS: usize = 2000;
+
+/// Minimizes `trace` under `still_fails`, which must be true for
+/// `trace` itself. Returns the smallest failing trace found, with
+/// `expect` set to [`Violation`](crate::Expectation::Violation).
+pub fn shrink<F: FnMut(&Trace) -> bool>(trace: &Trace, mut still_fails: F) -> Trace {
+    let mut best = trace.clone();
+    let mut attempts = 0usize;
+    let mut try_candidate = |cand: &Trace, attempts: &mut usize| -> bool {
+        if *attempts >= MAX_ATTEMPTS {
+            return false;
+        }
+        *attempts += 1;
+        still_fails(cand)
+    };
+
+    // Phase 1: ddmin chunk removal over the op list.
+    let mut granularity = 2usize;
+    while best.ops.len() >= 2 {
+        let chunk = best.ops.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < best.ops.len() {
+            let end = (start + chunk).min(best.ops.len());
+            let mut cand = best.clone();
+            cand.ops.drain(start..end);
+            if !cand.ops.is_empty() && try_candidate(&cand, &mut attempts) {
+                best = cand;
+                reduced = true;
+                // Same start now addresses the next chunk.
+            } else {
+                start = end;
+            }
+        }
+        if reduced {
+            granularity = granularity.saturating_sub(1).max(2);
+        } else if granularity >= best.ops.len() || attempts >= MAX_ATTEMPTS {
+            break;
+        } else {
+            granularity = (granularity * 2).min(best.ops.len());
+        }
+    }
+
+    // Phase 2: single-op elimination until a fixed point.
+    loop {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < best.ops.len() {
+            if best.ops.len() == 1 {
+                break;
+            }
+            let mut cand = best.clone();
+            cand.ops.remove(i);
+            if try_candidate(&cand, &mut attempts) {
+                best = cand;
+                removed_any = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !removed_any || attempts >= MAX_ATTEMPTS {
+            break;
+        }
+    }
+
+    // Phase 3: drop threads that no longer own any ops.
+    let max_thread = best.ops.iter().map(|e| e.thread).max().unwrap_or(0);
+    if max_thread + 1 < best.threads {
+        let mut cand = best.clone();
+        cand.threads = max_thread + 1;
+        if try_candidate(&cand, &mut attempts) {
+            best = cand;
+        }
+    }
+
+    best.expect = crate::Expectation::Violation;
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Expectation, TraceEvent, TraceOp};
+
+    /// Synthetic predicate: "fails" iff ops for slots 3 AND 7 are both
+    /// present — the minimal repro is exactly those two ops.
+    fn fails(t: &Trace) -> bool {
+        let has = |s: u64| t.ops.iter().any(|e| e.op.slot() == s);
+        has(3) && has(7)
+    }
+
+    #[test]
+    fn shrinks_to_the_two_relevant_ops() {
+        let mut trace = Trace::empty("test", 0);
+        trace.threads = 4;
+        for seq in 0..100u64 {
+            trace.ops.push(TraceEvent {
+                seq,
+                thread: (seq % 4) as u32,
+                op: TraceOp::Malloc { slot: seq, size: 64 },
+            });
+        }
+        assert!(fails(&trace));
+        let small = shrink(&trace, fails);
+        assert_eq!(small.ops.len(), 2, "minimal repro is slots 3 and 7: {:?}", small.ops);
+        assert!(fails(&small));
+        assert_eq!(small.expect, Expectation::Violation);
+        assert!(small.threads <= 4);
+    }
+
+    #[test]
+    fn single_op_trace_survives() {
+        let mut trace = Trace::empty("test", 0);
+        trace.ops.push(TraceEvent { seq: 0, thread: 0, op: TraceOp::Free { slot: 0 } });
+        let small = shrink(&trace, |_| true);
+        assert_eq!(small.ops.len(), 1);
+    }
+}

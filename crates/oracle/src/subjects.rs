@@ -1,0 +1,123 @@
+//! The differential-harness registry: every allocator a trace can
+//! replay against, constructed fresh by name.
+//!
+//! "Differential" here means the same trace runs against all four
+//! allocators (plus hardened lfmalloc) and the oracle must stay silent
+//! on each — any allocator-specific violation localizes the bug to
+//! that allocator rather than to the trace or the harness.
+
+use crate::replay::{replay, ReplayOutcome};
+use crate::trace::Trace;
+use dlheap::LockedHeap;
+use hoard::Hoard;
+use lfmalloc::{Config, Hardening, LfMalloc};
+use malloc_api::RawMalloc;
+use osmem::SystemSource;
+use ptmalloc::Ptmalloc;
+
+/// Names [`subject`] accepts; the canonical differential set.
+pub const SUBJECT_NAMES: [&str; 5] =
+    ["lfmalloc", "lfmalloc-hardened", "hoard", "ptmalloc", "dlheap"];
+
+enum SubjectKind {
+    Lf(LfMalloc<SystemSource>),
+    Hoard(Hoard),
+    Ptmalloc(Ptmalloc),
+    Dlheap(LockedHeap),
+}
+
+/// One freshly constructed allocator under test.
+pub struct Subject {
+    name: &'static str,
+    kind: SubjectKind,
+}
+
+impl Subject {
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The allocator as a trait object the replayer accepts.
+    pub fn as_raw(&self) -> &dyn RawMalloc {
+        match &self.kind {
+            SubjectKind::Lf(a) => a,
+            SubjectKind::Hoard(a) => a,
+            SubjectKind::Ptmalloc(a) => a,
+            SubjectKind::Dlheap(a) => a,
+        }
+    }
+
+    /// Replays `trace` against this subject.
+    pub fn replay(&self, trace: &Trace) -> ReplayOutcome {
+        replay(self.as_raw(), trace)
+    }
+
+    /// The allocator's own metadata audit, for subjects that have one
+    /// (`None` means "no audit facility, nothing to check").
+    pub fn audit_clean(&self) -> Option<bool> {
+        match &self.kind {
+            SubjectKind::Lf(a) => Some(a.audit().is_clean()),
+            _ => None,
+        }
+    }
+}
+
+/// Builds a fresh allocator by name (see [`SUBJECT_NAMES`]).
+pub fn subject(name: &str) -> Option<Subject> {
+    let kind = match name {
+        "lfmalloc" => SubjectKind::Lf(LfMalloc::new_default()),
+        "lfmalloc-hardened" => SubjectKind::Lf(LfMalloc::with_config(
+            Config::detect().with_hardening(Hardening::Detect),
+        )),
+        "hoard" => SubjectKind::Hoard(Hoard::new_detected()),
+        "ptmalloc" => SubjectKind::Ptmalloc(Ptmalloc::new()),
+        "dlheap" => SubjectKind::Dlheap(LockedHeap::new()),
+        _ => return None,
+    };
+    let name = SUBJECT_NAMES.iter().find(|n| **n == name)?;
+    Some(Subject { name, kind })
+}
+
+/// Fresh instances of the whole differential set.
+pub fn all_subjects() -> Vec<Subject> {
+    SUBJECT_NAMES.iter().map(|n| subject(n).expect("registered name")).collect()
+}
+
+/// Convenience: fresh subject by name, replay, and (where available)
+/// a post-run audit folded into the outcome as an extra violation
+/// check. Panics on an unknown name.
+pub fn replay_named(name: &str, trace: &Trace) -> (ReplayOutcome, Option<bool>) {
+    let s = subject(name).unwrap_or_else(|| panic!("unknown subject {name:?}"));
+    let out = s.replay(trace);
+    let audit = s.audit_clean();
+    (out, audit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_name_constructs() {
+        for name in SUBJECT_NAMES {
+            let s = subject(name).expect(name);
+            assert_eq!(s.name(), name);
+            unsafe {
+                let p = s.as_raw().malloc(64);
+                assert!(!p.is_null());
+                s.as_raw().free(p);
+            }
+        }
+        assert!(subject("nonesuch").is_none());
+    }
+
+    #[test]
+    fn short_trace_replays_on_all_subjects() {
+        let trace = Trace::generate(7, 2, 120);
+        for s in all_subjects() {
+            let out = s.replay(&trace);
+            assert!(out.is_clean(), "{}: {:?}", s.name(), out.violations);
+            assert_ne!(s.audit_clean(), Some(false), "{} audit", s.name());
+        }
+    }
+}

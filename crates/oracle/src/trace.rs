@@ -1,0 +1,523 @@
+//! The portable trace format: per-thread op logs with a global order,
+//! failpoint plans, and the scenario seed — everything the replayer
+//! needs to re-execute a heap history deterministically.
+//!
+//! A trace is plain text, one line per item, so minimized repros are
+//! reviewable diffs in `tests/corpus/`:
+//!
+//! ```text
+//! # oracle-trace v1
+//! allocator lfmalloc
+//! threads 2
+//! seed 0x2a
+//! expect clean
+//! fp alloc.double_handout retry nth:7 budget=1
+//! op 0 t=0 malloc slot=3 size=128
+//! op 1 t=1 calloc slot=9 count=4 size=32
+//! op 2 t=0 aligned slot=4 size=64 align=64
+//! op 3 t=1 realloc slot=9 size=256
+//! op 4 t=0 free slot=3
+//! ```
+//!
+//! `op <seq>` is the recorded global linearization: the replayer
+//! executes ops strictly in `seq` order, each on its owning thread
+//! (`t=`). `slot=` is a logical block id — traces never contain raw
+//! addresses, which is what makes them portable across allocators and
+//! runs. Ops naming a slot that is not live are no-ops under replay, so
+//! any subset of a trace is itself a valid trace (the property the
+//! delta-debugging shrinker relies on).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One heap operation on a logical slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceOp {
+    Malloc { slot: u64, size: usize },
+    Calloc { slot: u64, count: usize, size: usize },
+    Aligned { slot: u64, size: usize, align: usize },
+    Realloc { slot: u64, size: usize },
+    Free { slot: u64 },
+}
+
+impl TraceOp {
+    /// The logical slot this op targets.
+    pub fn slot(&self) -> u64 {
+        match *self {
+            TraceOp::Malloc { slot, .. }
+            | TraceOp::Calloc { slot, .. }
+            | TraceOp::Aligned { slot, .. }
+            | TraceOp::Realloc { slot, .. }
+            | TraceOp::Free { slot } => slot,
+        }
+    }
+}
+
+/// One op with its global order and owning thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global linearization index (dense order is not required; the
+    /// replayer sorts).
+    pub seq: u64,
+    /// Owning thread, `0..threads`.
+    pub thread: u32,
+    pub op: TraceOp,
+}
+
+/// Mirror of `malloc_api::failpoints::FpAction` that exists (and
+/// parses) without the `failpoints` feature.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FpActionSpec {
+    Yield,
+    Delay(u32),
+    Retry,
+    Kill,
+}
+
+/// Mirror of `malloc_api::failpoints::FpTrigger`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FpTriggerSpec {
+    Always,
+    Nth(u64),
+    Chance(u16),
+}
+
+/// One armed failpoint in the trace's scenario.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FpPlan {
+    pub site: String,
+    pub action: FpActionSpec,
+    pub trigger: FpTriggerSpec,
+    /// Fire budget; `None` is unlimited.
+    pub budget: Option<u64>,
+}
+
+/// What a checked-in trace asserts about its own replay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Expectation {
+    /// Replay must produce zero oracle violations (regression trace).
+    Clean,
+    /// Replay must produce at least one violation (minimized repro of a
+    /// planted or historical bug).
+    Violation,
+}
+
+/// A complete recorded heap history.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trace {
+    /// Allocator the trace was recorded against (informative — a trace
+    /// replays against any subject).
+    pub allocator: String,
+    /// Worker thread count.
+    pub threads: u32,
+    /// Scenario seed for the failpoint PRNGs.
+    pub seed: u64,
+    pub expect: Expectation,
+    pub failpoints: Vec<FpPlan>,
+    pub ops: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace shell.
+    pub fn empty(allocator: &str, seed: u64) -> Self {
+        Trace {
+            allocator: allocator.to_string(),
+            threads: 1,
+            seed,
+            expect: Expectation::Clean,
+            failpoints: Vec::new(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Deterministic random trace: `threads` workers, `total_ops` ops
+    /// interleaved by a seeded PRNG. Op mix and size palette cover
+    /// small/aligned/large classes, calloc, realloc (including
+    /// cross-size-class moves), and remote-ish frees via slot handoff
+    /// between threads.
+    pub fn generate(seed: u64, threads: u32, total_ops: usize) -> Self {
+        let mut rng = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = || {
+            rng = rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = rng;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut ops = Vec::with_capacity(total_ops);
+        let mut live: Vec<Vec<u64>> = vec![Vec::new(); threads as usize];
+        let mut next_slot: u64 = 0;
+        for seq in 0..total_ops as u64 {
+            let t = (next() % threads as u64) as u32;
+            let mine = &mut live[t as usize];
+            let roll = next() % 100;
+            let op = if mine.is_empty() || roll < 45 {
+                let slot = next_slot;
+                next_slot += 1;
+                mine.push(slot);
+                let size = size_from(next());
+                match next() % 10 {
+                    0..=6 => TraceOp::Malloc { slot, size },
+                    7 | 8 => TraceOp::Calloc { slot, count: 1 + (next() % 8) as usize, size },
+                    _ => {
+                        let align = 16usize << (next() % 5); // 16..256
+                        TraceOp::Aligned { slot, size, align }
+                    }
+                }
+            } else if roll < 55 {
+                let slot = mine[(next() % mine.len() as u64) as usize];
+                TraceOp::Realloc { slot, size: size_from(next()) }
+            } else {
+                // Occasionally free a block another thread allocated
+                // (remote free), else a local one.
+                let victim_t = if next() % 4 == 0 {
+                    (next() % threads as u64) as usize
+                } else {
+                    t as usize
+                };
+                let v = &mut live[victim_t];
+                if v.is_empty() {
+                    let slot = next_slot;
+                    next_slot += 1;
+                    live[t as usize].push(slot);
+                    TraceOp::Malloc { slot, size: size_from(next()) }
+                } else {
+                    let i = (next() % v.len() as u64) as usize;
+                    let slot = v.swap_remove(i);
+                    TraceOp::Free { slot }
+                }
+            };
+            ops.push(TraceEvent { seq, thread: t, op });
+        }
+        Trace {
+            allocator: "any".to_string(),
+            threads,
+            seed,
+            expect: Expectation::Clean,
+            failpoints: Vec::new(),
+            ops,
+        }
+    }
+
+    /// Parses the text format; `Err` carries the first bad line.
+    pub fn parse(text: &str) -> Result<Trace, String> {
+        let mut trace = Trace::empty("unknown", 0);
+        let mut saw_header = false;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let err = |msg: &str| format!("line {}: {msg}: {raw:?}", lineno + 1);
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('#') {
+                if line.starts_with("# oracle-trace") {
+                    saw_header = true;
+                }
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            match words.next() {
+                Some("allocator") => {
+                    trace.allocator =
+                        words.next().ok_or_else(|| err("missing allocator name"))?.to_string();
+                }
+                Some("threads") => {
+                    trace.threads = words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| err("bad thread count"))?;
+                }
+                Some("seed") => {
+                    let w = words.next().ok_or_else(|| err("missing seed"))?;
+                    trace.seed = parse_u64(w).ok_or_else(|| err("bad seed"))?;
+                }
+                Some("expect") => {
+                    trace.expect = match words.next() {
+                        Some("clean") => Expectation::Clean,
+                        Some("violation") => Expectation::Violation,
+                        _ => return Err(err("expect must be clean|violation")),
+                    };
+                }
+                Some("fp") => {
+                    let site =
+                        words.next().ok_or_else(|| err("missing failpoint site"))?.to_string();
+                    let action = match words.next() {
+                        Some("yield") => FpActionSpec::Yield,
+                        Some(w) if w.starts_with("delay:") => FpActionSpec::Delay(
+                            w[6..].parse().map_err(|_| err("bad delay"))?,
+                        ),
+                        Some("retry") => FpActionSpec::Retry,
+                        Some("kill") => FpActionSpec::Kill,
+                        _ => return Err(err("bad failpoint action")),
+                    };
+                    let trigger = match words.next() {
+                        Some("always") => FpTriggerSpec::Always,
+                        Some(w) if w.starts_with("nth:") => {
+                            FpTriggerSpec::Nth(w[4..].parse().map_err(|_| err("bad nth"))?)
+                        }
+                        Some(w) if w.starts_with("chance:") => {
+                            FpTriggerSpec::Chance(w[7..].parse().map_err(|_| err("bad chance"))?)
+                        }
+                        _ => return Err(err("bad failpoint trigger")),
+                    };
+                    let budget = match words.next() {
+                        None => None,
+                        Some(w) if w.starts_with("budget=") => {
+                            Some(w[7..].parse().map_err(|_| err("bad budget"))?)
+                        }
+                        Some(_) => return Err(err("trailing failpoint words")),
+                    };
+                    trace.failpoints.push(FpPlan { site, action, trigger, budget });
+                }
+                Some("op") => {
+                    let seq = words
+                        .next()
+                        .and_then(parse_u64_ref)
+                        .ok_or_else(|| err("bad op seq"))?;
+                    let thread = words
+                        .next()
+                        .and_then(|w| w.strip_prefix("t="))
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| err("bad op thread"))?;
+                    let kind = words.next().ok_or_else(|| err("missing op kind"))?;
+                    let mut fields: HashMap<&str, u64> = HashMap::new();
+                    for w in words {
+                        let (k, v) = w.split_once('=').ok_or_else(|| err("bad op field"))?;
+                        fields.insert(k, parse_u64(v).ok_or_else(|| err("bad op value"))?);
+                    }
+                    let slot = *fields.get("slot").ok_or_else(|| err("missing slot"))?;
+                    let size = fields.get("size").copied();
+                    let op = match kind {
+                        "malloc" => TraceOp::Malloc {
+                            slot,
+                            size: size.ok_or_else(|| err("missing size"))? as usize,
+                        },
+                        "calloc" => TraceOp::Calloc {
+                            slot,
+                            count: *fields.get("count").ok_or_else(|| err("missing count"))?
+                                as usize,
+                            size: size.ok_or_else(|| err("missing size"))? as usize,
+                        },
+                        "aligned" => TraceOp::Aligned {
+                            slot,
+                            size: size.ok_or_else(|| err("missing size"))? as usize,
+                            align: *fields.get("align").ok_or_else(|| err("missing align"))?
+                                as usize,
+                        },
+                        "realloc" => TraceOp::Realloc {
+                            slot,
+                            size: size.ok_or_else(|| err("missing size"))? as usize,
+                        },
+                        "free" => TraceOp::Free { slot },
+                        _ => return Err(err("unknown op kind")),
+                    };
+                    trace.ops.push(TraceEvent { seq, thread, op });
+                }
+                _ => return Err(err("unknown directive")),
+            }
+        }
+        if !saw_header {
+            return Err("missing `# oracle-trace v1` header".to_string());
+        }
+        Ok(trace)
+    }
+}
+
+fn parse_u64(w: &str) -> Option<u64> {
+    if let Some(hex) = w.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        w.parse().ok()
+    }
+}
+
+fn parse_u64_ref(w: &str) -> Option<u64> {
+    parse_u64(w)
+}
+
+fn size_from(r: u64) -> usize {
+    match r % 100 {
+        // Mostly small blocks (both paper workloads live here)...
+        0..=69 => 8 + (r >> 8) as usize % 248,
+        // ...some mid sizes crossing size classes...
+        70..=89 => 256 + (r >> 8) as usize % 7936,
+        // ...and a few genuinely large (straight-from-OS) blocks.
+        _ => 64 * 1024 + (r >> 8) as usize % (64 * 1024),
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# oracle-trace v1")?;
+        writeln!(f, "allocator {}", self.allocator)?;
+        writeln!(f, "threads {}", self.threads)?;
+        writeln!(f, "seed {:#x}", self.seed)?;
+        writeln!(
+            f,
+            "expect {}",
+            match self.expect {
+                Expectation::Clean => "clean",
+                Expectation::Violation => "violation",
+            }
+        )?;
+        for fp in &self.failpoints {
+            write!(f, "fp {} ", fp.site)?;
+            match fp.action {
+                FpActionSpec::Yield => write!(f, "yield")?,
+                FpActionSpec::Delay(n) => write!(f, "delay:{n}")?,
+                FpActionSpec::Retry => write!(f, "retry")?,
+                FpActionSpec::Kill => write!(f, "kill")?,
+            }
+            match fp.trigger {
+                FpTriggerSpec::Always => write!(f, " always")?,
+                FpTriggerSpec::Nth(n) => write!(f, " nth:{n}")?,
+                FpTriggerSpec::Chance(p) => write!(f, " chance:{p}")?,
+            }
+            if let Some(b) = fp.budget {
+                write!(f, " budget={b}")?;
+            }
+            writeln!(f)?;
+        }
+        for ev in &self.ops {
+            write!(f, "op {} t={} ", ev.seq, ev.thread)?;
+            match ev.op {
+                TraceOp::Malloc { slot, size } => writeln!(f, "malloc slot={slot} size={size}")?,
+                TraceOp::Calloc { slot, count, size } => {
+                    writeln!(f, "calloc slot={slot} count={count} size={size}")?
+                }
+                TraceOp::Aligned { slot, size, align } => {
+                    writeln!(f, "aligned slot={slot} size={size} align={align}")?
+                }
+                TraceOp::Realloc { slot, size } => {
+                    writeln!(f, "realloc slot={slot} size={size}")?
+                }
+                TraceOp::Free { slot } => writeln!(f, "free slot={slot}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Concurrent op recorder behind [`crate::OracleMalloc::recording`].
+///
+/// Assigns each OS thread a dense trace-thread id on first use and
+/// stamps every op with a global sequence number. The single mutex
+/// serializes recording — recording mode documents interleavings, it
+/// does not preserve timing, so the coarse lock is acceptable.
+pub struct TraceRecorder {
+    seq: AtomicU64,
+    state: Mutex<RecorderState>,
+}
+
+#[derive(Default)]
+struct RecorderState {
+    thread_ids: HashMap<std::thread::ThreadId, u32>,
+    events: Vec<TraceEvent>,
+}
+
+impl TraceRecorder {
+    pub fn new() -> Self {
+        TraceRecorder { seq: AtomicU64::new(0), state: Mutex::new(RecorderState::default()) }
+    }
+
+    /// Logs one op from the calling thread.
+    pub fn log(&self, op: TraceOp) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let n = st.thread_ids.len() as u32;
+        let thread = *st.thread_ids.entry(std::thread::current().id()).or_insert(n);
+        st.events.push(TraceEvent { seq, thread, op });
+    }
+
+    /// Drains the recording into a [`Trace`] (ops sorted by seq).
+    pub fn finish(&self, allocator: &str, seed: u64) -> Trace {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut ops = std::mem::take(&mut st.events);
+        ops.sort_unstable_by_key(|e| e.seq);
+        let threads = st.thread_ids.len().max(1) as u32;
+        Trace {
+            allocator: allocator.to_string(),
+            threads,
+            seed,
+            expect: Expectation::Clean,
+            failpoints: Vec::new(),
+            ops,
+        }
+    }
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let mut t = Trace::generate(0x5EED, 3, 200);
+        t.allocator = "lfmalloc".into();
+        t.expect = Expectation::Violation;
+        t.failpoints.push(FpPlan {
+            site: "alloc.double_handout".into(),
+            action: FpActionSpec::Retry,
+            trigger: FpTriggerSpec::Nth(7),
+            budget: Some(1),
+        });
+        t.failpoints.push(FpPlan {
+            site: "active.reserve".into(),
+            action: FpActionSpec::Delay(500),
+            trigger: FpTriggerSpec::Chance(32768),
+            budget: None,
+        });
+        let text = t.to_string();
+        let back = Trace::parse(&text).expect("roundtrip parse");
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        assert_eq!(Trace::generate(1, 4, 500), Trace::generate(1, 4, 500));
+        assert_ne!(Trace::generate(1, 4, 500), Trace::generate(2, 4, 500));
+    }
+
+    #[test]
+    fn generated_slots_are_coherent() {
+        let t = Trace::generate(9, 4, 1000);
+        // Every freed/realloc'd slot was allocated earlier in seq order
+        // and never double-freed.
+        let mut live = std::collections::HashSet::new();
+        for ev in &t.ops {
+            match ev.op {
+                TraceOp::Malloc { slot, .. }
+                | TraceOp::Calloc { slot, .. }
+                | TraceOp::Aligned { slot, .. } => assert!(live.insert(slot)),
+                TraceOp::Realloc { slot, .. } => assert!(live.contains(&slot)),
+                TraceOp::Free { slot } => assert!(live.remove(&slot)),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Trace::parse("op 0 t=0 malloc slot=1 size=8").is_err(), "no header");
+        assert!(Trace::parse("# oracle-trace v1\nfrobnicate 3").is_err());
+        assert!(Trace::parse("# oracle-trace v1\nop 0 t=0 malloc slot=1").is_err(), "no size");
+    }
+
+    #[test]
+    fn recorder_orders_by_seq() {
+        let r = TraceRecorder::new();
+        r.log(TraceOp::Malloc { slot: 0, size: 8 });
+        r.log(TraceOp::Free { slot: 0 });
+        let t = r.finish("test", 1);
+        assert_eq!(t.ops.len(), 2);
+        assert!(t.ops[0].seq < t.ops[1].seq);
+        assert_eq!(t.threads, 1);
+    }
+}

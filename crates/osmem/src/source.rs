@@ -53,6 +53,15 @@ pub unsafe trait PageSource: Sync {
         let _ = (ptr, len, readwrite);
         false
     }
+
+    /// Whether runs returned by [`alloc_pages`](Self::alloc_pages) are
+    /// guaranteed zero-filled (anonymous-mmap semantics). `calloc` fast
+    /// paths may skip their memset only when this returns `true` *and*
+    /// the memory provably never passed through a recycling pool. The
+    /// conservative default is `false`.
+    fn zeroes_fresh_pages(&self) -> bool {
+        false
+    }
 }
 
 /// `mprotect` constants and binding (libc is linked by std on unix).
@@ -106,6 +115,12 @@ unsafe impl PageSource for SystemSource {
             mprotect_sys::PROT_NONE
         };
         unsafe { mprotect_sys::mprotect(ptr as *mut core::ffi::c_void, len, prot) == 0 }
+    }
+
+    // `alloc_pages` goes through `System.alloc_zeroed` precisely so this
+    // invariant holds (anonymous-mmap semantics).
+    fn zeroes_fresh_pages(&self) -> bool {
+        true
     }
 }
 
@@ -174,6 +189,10 @@ unsafe impl<S: PageSource> PageSource for CountingSource<S> {
     unsafe fn protect_pages(&self, ptr: *mut u8, len: usize, readwrite: bool) -> bool {
         unsafe { self.inner.protect_pages(ptr, len, readwrite) }
     }
+
+    fn zeroes_fresh_pages(&self) -> bool {
+        self.inner.zeroes_fresh_pages()
+    }
 }
 
 unsafe impl<S: PageSource + Send + Sync> PageSource for std::sync::Arc<S> {
@@ -189,6 +208,9 @@ unsafe impl<S: PageSource + Send + Sync> PageSource for std::sync::Arc<S> {
     unsafe fn protect_pages(&self, ptr: *mut u8, len: usize, readwrite: bool) -> bool {
         unsafe { (**self).protect_pages(ptr, len, readwrite) }
     }
+    fn zeroes_fresh_pages(&self) -> bool {
+        (**self).zeroes_fresh_pages()
+    }
 }
 
 unsafe impl<S: PageSource> PageSource for &S {
@@ -203,6 +225,9 @@ unsafe impl<S: PageSource> PageSource for &S {
     }
     unsafe fn protect_pages(&self, ptr: *mut u8, len: usize, readwrite: bool) -> bool {
         unsafe { (**self).protect_pages(ptr, len, readwrite) }
+    }
+    fn zeroes_fresh_pages(&self) -> bool {
+        (**self).zeroes_fresh_pages()
     }
 }
 
@@ -447,6 +472,12 @@ unsafe impl<S: PageSource> PageSource for FlakySource<S> {
     // them would turn an injected OOM into a wild fault.
     unsafe fn protect_pages(&self, ptr: *mut u8, len: usize, readwrite: bool) -> bool {
         unsafe { self.inner.protect_pages(ptr, len, readwrite) }
+    }
+
+    // Denials return null, never dirty memory, so the inner source's
+    // zeroing guarantee survives the decorator.
+    fn zeroes_fresh_pages(&self) -> bool {
+        self.inner.zeroes_fresh_pages()
     }
 }
 

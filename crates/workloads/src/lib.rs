@@ -10,6 +10,10 @@
 //! | [`larson`] | Larson \[Larson & Krishnan\] | robustness under irregular sizes/order, long-running |
 //! | [`producer_consumer`] | lock-free producer-consumer (new in the paper) | remote frees, one hot heap |
 //!
+//! [`record`] wraps larson/threadtest/producer_consumer in the
+//! shadow-heap oracle's recording mode, yielding a replayable trace of
+//! the run alongside the benchmark result.
+//!
 //! Op counts are parameters: the paper's sizes (10M pairs/thread, 30 s
 //! phases) target a 2004 16-way SMP; the `bench` crate picks defaults
 //! that finish in seconds and the binaries accept `--ops` to run at
@@ -20,6 +24,7 @@ pub mod false_sharing;
 pub mod larson;
 pub mod linux_scalability;
 pub mod producer_consumer;
+pub mod record;
 pub mod threadtest;
 
 pub use common::WorkloadResult;

@@ -1,0 +1,137 @@
+//! Trace-recording mode: run a paper workload through the shadow-heap
+//! oracle and get back both the benchmark result and a portable
+//! [`Trace`] of every heap op it performed.
+//!
+//! The wrapper records (it does not fill-check — the workloads write
+//! into their blocks) and still enforces the structural oracle checks:
+//! uniqueness of handed-out pointers, tracked frees, alignment, and
+//! calloc zeroing. A violation halts the run and surfaces in
+//! `oracle.violation_count()`; these helpers assert none occurred, so a
+//! recorded trace is always a *clean* history suitable for replay
+//! against any other allocator.
+//!
+//! Recording serializes ops through the recorder's lock, so the trace
+//! documents one valid interleaving rather than the exact parallel
+//! timing — which is precisely what the deterministic replayer needs.
+
+use crate::common::WorkloadResult;
+use crate::{larson, producer_consumer, threadtest};
+use malloc_api::RawMalloc;
+use oracle::{OracleMalloc, Trace};
+use std::sync::Arc;
+
+/// Shadow-map capacity for recorded runs; covers the live-block
+/// high-water mark of the default benchmark parameters with slack.
+const RECORD_CAPACITY: usize = 1 << 17;
+
+fn finish<A: RawMalloc>(oracle: &OracleMalloc<A>, seed: u64) -> Trace {
+    assert_eq!(
+        oracle.violation_count(),
+        0,
+        "workload run violated the heap contract: {:?}",
+        oracle.violations()
+    );
+    oracle.take_trace(seed)
+}
+
+/// [`larson::run`] under the recording oracle.
+pub fn larson_recorded<A: RawMalloc + Send + Sync + 'static>(
+    alloc: Arc<A>,
+    threads: usize,
+    slots: usize,
+    pairs_per_thread: u64,
+    seed: u64,
+) -> (WorkloadResult, Trace) {
+    let oracle = Arc::new(OracleMalloc::recording(alloc, RECORD_CAPACITY));
+    let r = larson::run(Arc::clone(&oracle), threads, slots, pairs_per_thread, seed);
+    let t = finish(&*oracle, seed);
+    (r, t)
+}
+
+/// [`threadtest::run`] under the recording oracle.
+pub fn threadtest_recorded<A: RawMalloc + Send + Sync + 'static>(
+    alloc: Arc<A>,
+    threads: usize,
+    iterations: u64,
+    batch: usize,
+) -> (WorkloadResult, Trace) {
+    let oracle = Arc::new(OracleMalloc::recording(alloc, RECORD_CAPACITY));
+    let r = threadtest::run(Arc::clone(&oracle), threads, iterations, batch);
+    let t = finish(&*oracle, 0);
+    (r, t)
+}
+
+/// [`producer_consumer::run`] under the recording oracle — the
+/// remote-free-heavy history, the most valuable one to replay against
+/// every allocator.
+pub fn producer_consumer_recorded<A: RawMalloc + Send + Sync + 'static>(
+    alloc: Arc<A>,
+    threads: usize,
+    params: producer_consumer::Params,
+) -> (WorkloadResult, Trace) {
+    let seed = params.seed;
+    let oracle = Arc::new(OracleMalloc::recording(alloc, RECORD_CAPACITY));
+    let r = producer_consumer::run(Arc::clone(&oracle), threads, params);
+    let t = finish(&*oracle, seed);
+    (r, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfmalloc::LfMalloc;
+    use oracle::TraceOp;
+
+    #[test]
+    fn threadtest_records_a_replayable_trace() {
+        let (r, trace) =
+            threadtest_recorded(Arc::new(LfMalloc::new_default()), 2, 3, 200);
+        assert_eq!(r.ops, 2 * 3 * 200);
+        assert_eq!(trace.ops.len() as u64, 2 * (2 * 3 * 200), "one malloc + one free per pair");
+        // The recorded history replays clean on a fresh allocator.
+        let out = oracle::replay(&LfMalloc::new_default(), &trace);
+        assert!(out.is_clean(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn larson_records_remote_frees() {
+        let (_, trace) = larson_recorded(Arc::new(LfMalloc::new_default()), 2, 64, 200, 42);
+        // The handoff means some frees happen on a different thread
+        // than the matching malloc.
+        let mut owner = std::collections::HashMap::new();
+        let mut remote = 0usize;
+        for ev in &trace.ops {
+            match ev.op {
+                TraceOp::Malloc { slot, .. }
+                | TraceOp::Calloc { slot, .. }
+                | TraceOp::Aligned { slot, .. } => {
+                    owner.insert(slot, ev.thread);
+                }
+                TraceOp::Free { slot } => {
+                    if owner.get(&slot).is_some_and(|t| *t != ev.thread) {
+                        remote += 1;
+                    }
+                }
+                TraceOp::Realloc { .. } => {}
+            }
+        }
+        assert!(remote > 0, "larson handoff must produce remote frees");
+        let out = oracle::replay(&LfMalloc::new_default(), &trace);
+        assert!(out.is_clean(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn producer_consumer_records_clean() {
+        let params = producer_consumer::Params {
+            database_size: 5_000,
+            tasks: 300,
+            work: 50,
+            seed: 11,
+        };
+        let (_, trace) =
+            producer_consumer_recorded(Arc::new(LfMalloc::new_default()), 2, params);
+        assert!(!trace.ops.is_empty());
+        let out = oracle::replay(&LfMalloc::new_default(), &trace);
+        assert!(out.is_clean(), "{:?}", out.violations);
+    }
+}

@@ -9,6 +9,8 @@
 //! * [`dlheap`], [`ptmalloc`], [`hoard`] — the three lock-based
 //!   baselines of §4.
 //! * [`workloads`] — the six benchmarks of §4.1.
+//! * [`oracle`] — the shadow-heap differential verifier with trace
+//!   record/replay and failure shrinking.
 //! * [`hazard`], [`lockfree_structs`], [`osmem`] — the substrates.
 //!
 //! # Quickstart
@@ -33,6 +35,7 @@ pub use hoard;
 pub use lfmalloc;
 pub use lockfree_structs;
 pub use malloc_api;
+pub use oracle;
 pub use osmem;
 pub use ptmalloc;
 pub use workloads;
@@ -47,6 +50,7 @@ pub mod prelude {
         PartialMode, ReaperConfig, WatchSite,
     };
     pub use malloc_api::{AllocStats, RawMalloc};
+    pub use oracle::{OracleMalloc, Trace};
     pub use ptmalloc::Ptmalloc;
     #[cfg(feature = "stats")]
     pub use lfmalloc::{ClassStats, Event, EventKind, StatsSnapshot};

@@ -83,7 +83,7 @@ fn sequential_double_free_is_classified_as_double_free() {
 fn concurrent_double_free_has_exactly_one_winner() {
     const THREADS: usize = 4;
     const ROUNDS: usize = 8;
-    for seed in 0..3u64 {
+    malloc_api::testkit::for_each_seed("concurrent double free", &[0, 1, 2], |seed| {
         let a = Arc::new(hardened(Hardening::Detect));
         for round in 0..ROUNDS {
             // Vary the class per seed/round so different heaps and
@@ -115,7 +115,7 @@ fn concurrent_double_free_has_exactly_one_winner() {
         assert_eq!(a.misuse_counters().total(), (ROUNDS * (THREADS - 1)) as u64);
         a.flush_quarantine();
         assert!(a.audit().is_clean(), "seed {seed}: {:?}", a.audit());
-    }
+    });
 }
 
 #[test]

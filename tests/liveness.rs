@@ -9,7 +9,7 @@
 //! need `--features failpoints`.
 
 use lfmalloc_repro::prelude::*;
-use malloc_api::testkit::TestRng;
+use malloc_api::testkit::{self, TestRng};
 use std::sync::Arc;
 
 /// Spawns `total` short-lived allocating threads, at most `width`
@@ -63,7 +63,7 @@ fn churn_threads<S: osmem::PageSource + Send + Sync + 'static>(
 fn thread_churn_soak_stays_healthy() {
     const THREADS: usize = 5_000;
     const WIDTH: usize = 8;
-    for seed in [0x11FE_0001u64, 0x11FE_0002] {
+    testkit::for_each_seed("thread churn soak", &[0x11FE_0001, 0x11FE_0002], |seed| {
         let a = Arc::new(LfMalloc::with_config(Config::with_heaps(2)));
         churn_threads(&a, seed, THREADS, WIDTH);
 
@@ -91,7 +91,7 @@ fn thread_churn_soak_stays_healthy() {
         assert!(audit.is_clean(), "audit after soak (seed {seed:#x}):\n{audit}");
         let h = a.health();
         assert!(!h.is_degraded(), "degraded after clean soak (seed {seed:#x}): {}", h.to_json());
-    }
+    });
 }
 
 /// The background reaper keeps up with thread churn on its own: with no
@@ -205,7 +205,7 @@ mod watchdog {
     /// surfaces in the `HealthSnapshot`.
     #[test]
     fn report_mode_surfaces_seeded_storm() {
-        for seed in [0x57A2_0001u64, 0x57A2_0002, 0x57A2_0003] {
+        testkit::for_each_seed("report-mode storm", &[0x57A2_0001, 0x57A2_0002, 0x57A2_0003], |seed| {
             let _guard = fp::scenario(seed);
             let (storms_before, _) = lfmalloc::process_liveness_counters();
             let cfg = Config::with_heaps(1)
@@ -236,7 +236,7 @@ mod watchdog {
                 let json = a.stats().to_json();
                 assert!(json.contains("\"degraded\":true"), "health missing from stats JSON");
             }
-        }
+        });
     }
 
     /// Storms below the ceiling are not storms: honest short retry
@@ -269,7 +269,7 @@ mod watchdog {
     /// completes and is counted.
     #[test]
     fn throttle_mode_backs_off_and_completes() {
-        for seed in [0x57A2_0030u64, 0x57A2_0031] {
+        testkit::for_each_seed("throttle-mode storm", &[0x57A2_0030, 0x57A2_0031], |seed| {
             let _guard = fp::scenario(seed);
             let cfg = Config::with_heaps(1)
                 .with_liveness(LivenessConfig::new(4, LivenessPolicy::Throttle));
@@ -282,7 +282,7 @@ mod watchdog {
                 "re-escalation at ceiling multiples (seed {seed:#x}): {}",
                 h.to_json()
             );
-        }
+        });
     }
 
     /// `Abort` fail-stops: the storming operation panics with the site

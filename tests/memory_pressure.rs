@@ -40,7 +40,7 @@ fn burst_size(rng: &mut testkit::TestRng) -> usize {
 
 #[test]
 fn trim_returns_a_pressure_burst_to_the_os() {
-    for seed in [0x7212_0001u64, 0x7212_0002] {
+    testkit::for_each_seed("pressure burst + trim", &[0x7212_0001, 0x7212_0002], |seed| {
         let src = Arc::new(CountingSource::new(SystemSource::new()));
         let a = LfMalloc::with_config_and_source(Config::with_heaps(2), Arc::clone(&src));
         let mut rng = testkit::TestRng::new(seed);
@@ -84,7 +84,7 @@ fn trim_returns_a_pressure_burst_to_the_os() {
             a.free(p);
         }
         assert_clean(&a, "post-trim reuse", seed);
-    }
+    });
 }
 
 #[test]
@@ -117,7 +117,7 @@ fn trim_to_watermark_keeps_a_warm_cache() {
 
 #[test]
 fn full_outage_yields_nulls_then_recovers() {
-    for seed in [0x0u64, 0xDEAD_BEEF, 0x5CA1_AB1E] {
+    testkit::for_each_seed("full outage + recovery", &[0x0, 0xDEAD_BEEF, 0x5CA1_AB1E], |seed| {
         let src = Arc::new(FlakySource::reliable(CountingSource::new(SystemSource::new())));
         let a = LfMalloc::with_config_and_source(Config::with_heaps(2), Arc::clone(&src));
 
@@ -175,7 +175,7 @@ fn full_outage_yields_nulls_then_recovers() {
         let after = src.stats().live_bytes;
         assert!(after <= HYPERBLOCK, "post-recovery trim left {after} bytes (seed {seed:#x})");
         assert_clean(&a, "post-recovery trim", seed);
-    }
+    });
 }
 
 #[test]

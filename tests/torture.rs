@@ -78,7 +78,7 @@ fn audit_clean_on_fresh_instance() {
 
 #[test]
 fn audit_clean_after_mixed_churn() {
-    for seed in [0x5EED_0001u64, 0x5EED_0002, 0x5EED_0003] {
+    testkit::for_each_seed("mixed churn", &[0x5EED_0001, 0x5EED_0002, 0x5EED_0003], |seed| {
         let a = LfMalloc::with_config(Config::with_heaps(2));
         unsafe { churn(&a, seed, 20_000, false) };
         // Audit with blocks still live...
@@ -88,7 +88,7 @@ fn audit_clean_after_mixed_churn() {
         assert!(rep.free_blocks_walked >= 1, "coverage: no free list walked\n{rep}");
         // ...and the leak from `forget` is bounded to what churn left
         // behind (the instance reclaims it wholesale on drop).
-    }
+    });
     // Full drain must also audit clean, with every block back on a list.
     let a = LfMalloc::with_config(Config::with_heaps(2));
     unsafe { churn(&a, 0x5EED_0004, 20_000, true) };
@@ -143,7 +143,7 @@ fn audit_clean_under_intermittent_os_failure_plans() {
     // FlakySource failure plans (no failpoints feature needed): a
     // probabilistic plan layered on a fail-every-Nth plan, then a
     // one-shot outage with self-recovery.
-    for seed in [0xBAD_05u64, 0xBAD_06] {
+    testkit::for_each_seed("intermittent OS failure", &[0xBAD_05, 0xBAD_06], |seed| {
         let src = Arc::new(FlakySource::reliable(SystemSource::new()));
         src.fail_with_chance(8192, seed); // ~1/8 of OS allocations fail
         src.fail_every_nth(13);
@@ -172,7 +172,7 @@ fn audit_clean_under_intermittent_os_failure_plans() {
             "outage plan never fired (seed {seed:#x})"
         );
         assert_clean(&a, "post-outage", seed);
-    }
+    });
 }
 
 #[cfg(feature = "failpoints")]
@@ -210,7 +210,8 @@ mod failpoint_scenarios {
     #[test]
     fn combined_torture_across_seeds_audits_clean() {
         let mut fired_total: HashSet<&'static str> = HashSet::new();
-        for seed in [0xF00D_0001u64, 0xF00D_0002, 0xF00D_0003, 0xF00D_0004] {
+        let seeds = [0xF00D_0001, 0xF00D_0002, 0xF00D_0003, 0xF00D_0004];
+        testkit::for_each_seed("combined failpoint torture", &seeds, |seed| {
             let _guard = fp::scenario(seed);
             arm_combined_scenario();
 
@@ -239,7 +240,7 @@ mod failpoint_scenarios {
             // Quiesce the reaper before the audit walks the structures.
             a.stop_reaper();
             assert_clean(&*a, "combined failpoint torture", seed);
-        }
+        });
 
         // Acceptance coverage: many distinct sites, and every action
         // category (yield/delay, forced retry, kill) actually fired.
