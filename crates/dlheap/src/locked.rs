@@ -103,6 +103,89 @@ impl<S: PageSource> LockedHeap<S> {
     pub fn check_integrity(&self) -> crate::heap::HeapReport {
         self.heap.lock().check_integrity()
     }
+
+    /// Makes this heap fork-safe for the lifetime of the returned
+    /// guard, by registering [`malloc_api::procfork`] hooks that hold
+    /// the heap mutex across `fork`: prepare locks it, parent and child
+    /// both release it. Without this, a fork racing another thread's
+    /// malloc can snapshot the mutex *locked by a thread that does not
+    /// exist in the child*, deadlocking the child's first allocation
+    /// forever.
+    ///
+    /// The guard must not outlive the heap (enforced by the borrow) and
+    /// unregisters the hooks on drop. Only forks that run the procfork
+    /// hook protocol ([`malloc_api::procfork::fork`], or raw `fork(2)`
+    /// after [`malloc_api::procfork::install`]) are covered.
+    pub fn atfork_guard(&self) -> AtforkGuard<'_, S>
+    where
+        S: 'static,
+    {
+        let stash = Box::into_raw(Box::new(AtforkStash {
+            heap: self as *const LockedHeap<S>,
+            guard: core::cell::UnsafeCell::new(None),
+        }));
+        let token = malloc_api::procfork::register(malloc_api::procfork::HookSet {
+            prepare: Some(atfork_prepare::<S>),
+            parent: Some(atfork_release::<S>),
+            child: Some(atfork_release::<S>),
+            data: stash as usize,
+        });
+        AtforkGuard { token, stash, _heap: core::marker::PhantomData }
+    }
+}
+
+/// Hook-side state of one [`LockedHeap::atfork_guard`] registration.
+/// Boxed so the hooks get one stable `usize`; only the forking thread
+/// touches `guard`, under the procfork registry lock.
+struct AtforkStash<S: PageSource + 'static> {
+    heap: *const LockedHeap<S>,
+    guard: core::cell::UnsafeCell<Option<malloc_api::sync::MutexGuard<'static, SerialHeap<S>>>>,
+}
+
+unsafe fn atfork_prepare<S: PageSource + 'static>(data: usize) {
+    let stash = unsafe { &*(data as *const AtforkStash<S>) };
+    let guard = unsafe { (*stash.heap).heap.lock() };
+    // Lifetime erasure only: the guard is released by `atfork_release`
+    // on this same thread before the registry lock is dropped, and the
+    // heap outlives the registration (AtforkGuard borrows it).
+    let guard: malloc_api::sync::MutexGuard<'static, SerialHeap<S>> =
+        unsafe { core::mem::transmute(guard) };
+    unsafe { *stash.guard.get() = Some(guard) };
+}
+
+/// Parent and child both just unlock: the forking thread took the lock
+/// in prepare, so in both processes the heap is consistent and the
+/// mutex is ours to release.
+unsafe fn atfork_release<S: PageSource + 'static>(data: usize) {
+    let stash = unsafe { &*(data as *const AtforkStash<S>) };
+    drop(unsafe { (*stash.guard.get()).take() });
+}
+
+/// RAII registration handle returned by [`LockedHeap::atfork_guard`];
+/// unregisters the hooks (and frees the hook stash) on drop.
+pub struct AtforkGuard<'a, S: PageSource + 'static> {
+    token: Option<malloc_api::procfork::HookToken>,
+    stash: *mut AtforkStash<S>,
+    _heap: core::marker::PhantomData<&'a LockedHeap<S>>,
+}
+
+impl<S: PageSource + 'static> AtforkGuard<'_, S> {
+    /// False when the procfork registry was full and no hooks could be
+    /// installed (the guard is inert; fork safety is not provided).
+    pub fn is_armed(&self) -> bool {
+        self.token.is_some()
+    }
+}
+
+impl<S: PageSource + 'static> Drop for AtforkGuard<'_, S> {
+    fn drop(&mut self) {
+        if let Some(token) = self.token.take() {
+            // Blocks on the registry lock until any in-flight fork's
+            // hooks have run, so the stash is quiescent when freed.
+            malloc_api::procfork::unregister(token);
+        }
+        drop(unsafe { Box::from_raw(self.stash) });
+    }
 }
 
 unsafe impl<S: PageSource + Send + Sync> RawMalloc for LockedHeap<S> {
@@ -174,6 +257,17 @@ mod tests {
         assert_eq!(s.lock_acquisitions, 6, "got {s:?}");
         assert!(s.splits >= 3, "got {s:?}");
         assert!(s.coalesces >= 2, "got {s:?}");
+    }
+
+    #[test]
+    fn atfork_guard_registers_and_unregisters() {
+        let a = LockedHeap::new();
+        let before = malloc_api::procfork::registered_count();
+        let g = a.atfork_guard();
+        assert!(g.is_armed());
+        assert_eq!(malloc_api::procfork::registered_count(), before + 1);
+        drop(g);
+        assert_eq!(malloc_api::procfork::registered_count(), before);
     }
 
     #[test]

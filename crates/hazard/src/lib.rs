@@ -338,6 +338,54 @@ impl HazardDomain {
         reclaimed
     }
 
+    /// Re-stamps the calling thread's cached record with the current
+    /// process generation. The forking thread must call this in the
+    /// child — while still single-threaded, before [`adopt_orphans`]
+    /// runs — so the orphan claimer never mistakes the one surviving
+    /// thread's record for a dead parent thread's.
+    ///
+    /// [`adopt_orphans`]: Self::adopt_orphans
+    pub fn restamp_current_thread(&self) {
+        record::restamp_cached(self);
+    }
+
+    /// Claims every record stamped with an older process generation —
+    /// records owned by parent threads that do not exist in this forked
+    /// child — drains their retired lists, and releases them for normal
+    /// adoption. Returns the number of records claimed.
+    ///
+    /// The claim token is a CAS on the record's generation stamp, so
+    /// concurrent recovery passes partition the orphans cleanly. A
+    /// stale-stamped record that is still `active` necessarily belongs
+    /// to a dead thread (live threads only ever own current-stamped
+    /// records: fresh records are stamped at creation, adoption skips
+    /// stale stamps, and the forking thread re-stamps its own record via
+    /// [`restamp_current_thread`](Self::restamp_current_thread) before
+    /// this runs), so its hazard slots are force-cleared: the dead owner
+    /// can never publish again, and whatever it was protecting died with
+    /// it mid-operation — exactly the thread-kill case hazard pointers
+    /// already tolerate.
+    pub fn adopt_orphans(&self) -> usize {
+        let cur = malloc_api::procfork::generation();
+        let mut claimed = 0usize;
+        let mut p = self.head.load(Ordering::Acquire);
+        while !p.is_null() {
+            let rec = unsafe { &*p };
+            let g = rec.generation();
+            if g != cur && rec.claim_generation(g, cur) {
+                claimed += 1;
+                if !rec.try_adopt() {
+                    // Active across the fork: the owner died holding it.
+                    unsafe { rec.clear_dead_hazards() };
+                }
+                self.scan(rec);
+                unsafe { rec.deactivate() };
+            }
+            p = rec.next;
+        }
+        claimed
+    }
+
     /// Nodes abandoned (leaked) because memory pressure prevented both
     /// retiring and inline reclamation. Always safe, ideally zero.
     pub fn leaked_count(&self) -> usize {
@@ -624,6 +672,89 @@ mod tests {
         assert_eq!(RECLAIMED.load(Ordering::SeqCst), before);
         d.clear(Slot(0));
         d.flush();
+    }
+
+    #[test]
+    fn adopt_orphans_claims_stale_inactive_record() {
+        let d = HazardDomain::new();
+        let before = RECLAIMED.load(Ordering::SeqCst);
+        // An exited thread leaves an inactive record holding retired
+        // nodes; forge a stale stamp, as if the record predated a fork.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..5 {
+                    let n = Box::into_raw(Box::new(0u64));
+                    unsafe { d.retire(n as *mut u8, core::ptr::null_mut(), count_reclaim) };
+                }
+            });
+        });
+        let rec = unsafe { &*d.head.load(Ordering::Acquire) };
+        rec.set_generation(u64::MAX);
+        assert_eq!(d.adopt_orphans(), 1);
+        assert_eq!(d.retired_count(), 0);
+        assert_eq!(RECLAIMED.load(Ordering::SeqCst), before + 5);
+        // Drained and re-stamped: normal adoption works again.
+        assert_eq!(d.adopt_orphans(), 0, "second pass finds nothing");
+        let r2 = record::acquire_record(&d);
+        assert_eq!(r2, rec as *const _ as *mut _, "record is adoptable again");
+        unsafe { (*r2).deactivate() };
+    }
+
+    #[test]
+    fn adopt_orphans_force_claims_dead_active_record() {
+        unsafe fn nop(_c: *mut u8, _p: *mut u8) {}
+        let d = HazardDomain::new();
+        // Simulate a thread that died in a fork mid-operation: its
+        // record is still active, a hazard is still published, nodes are
+        // still retired, and its stamp predates the current generation.
+        let rec = record::acquire_record(&d);
+        unsafe {
+            (*rec).hazards[0].store(0x2000 as *mut u8, Ordering::SeqCst);
+            (*rec).push_retired(Retired {
+                ptr: 0x1000 as *mut u8,
+                ctx: core::ptr::null_mut(),
+                reclaim: nop,
+            });
+            (*rec).set_generation(u64::MAX);
+        }
+        assert_eq!(d.adopt_orphans(), 1);
+        let rec = unsafe { &*rec };
+        assert!(rec.hazards.iter().all(|h| h.load(Ordering::SeqCst).is_null()));
+        assert_eq!(rec.retired_len(), 0, "dead thread's retired list drained");
+        assert!(rec.try_adopt(), "record released for reuse");
+        unsafe { rec.deactivate() };
+    }
+
+    #[test]
+    fn restamp_shields_survivor_record_from_orphan_claim() {
+        let d = HazardDomain::new();
+        // Create this thread's cached record and forge a stale stamp on
+        // it (as the fork would), then restamp — the claimer must skip it.
+        let n = Box::into_raw(Box::new(3u64));
+        let a = AtomicPtr::new(n);
+        let p = d.protect(Slot(0), &a);
+        assert!(!p.is_null());
+        let rec = unsafe { &*d.head.load(Ordering::Acquire) };
+        rec.set_generation(u64::MAX);
+        d.restamp_current_thread();
+        assert_eq!(d.adopt_orphans(), 0, "survivor's record left alone");
+        assert_eq!(rec.hazards[0].load(Ordering::SeqCst), n as *mut u8);
+        d.clear(Slot(0));
+        unsafe { drop(Box::from_raw(n)) };
+    }
+
+    #[test]
+    fn stale_records_are_skipped_by_normal_adoption() {
+        let d = HazardDomain::new();
+        std::thread::scope(|s| {
+            s.spawn(|| d.set(Slot(0), core::ptr::null_mut::<u8>()));
+        });
+        // One inactive record exists; forge a stale stamp.
+        let rec = d.head.load(Ordering::Acquire);
+        unsafe { (*rec).set_generation(u64::MAX) };
+        let fresh = record::acquire_record(&d);
+        assert_ne!(fresh, rec, "stale record must not be adopted");
+        unsafe { (*fresh).deactivate() };
     }
 
     #[test]

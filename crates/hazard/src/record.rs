@@ -18,7 +18,7 @@
 use crate::sysvec::SysVec;
 use crate::{HazardDomain, Retired, SLOTS_PER_RECORD};
 use core::cell::UnsafeCell;
-use core::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use core::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::RefCell;
 
@@ -34,6 +34,14 @@ pub(crate) struct Record {
     pub next: *mut Record,
     /// Try-lock: true while some thread owns this record.
     active: AtomicBool,
+    /// Process generation (`malloc_api::procfork::generation()`) of the
+    /// record's owner. A record whose stamp lags the current generation
+    /// belongs to a pre-fork parent thread that does not exist in this
+    /// (child) process; `HazardDomain::adopt_orphans` claims such
+    /// records — stamp CAS as the claim token — and drains their retired
+    /// lists. The ordinary adoption path skips stale-stamped records so
+    /// claiming and adopting can never race to two owners.
+    gen: AtomicU64,
     /// Nodes retired by the owning thread, awaiting scan. Only the owner
     /// touches this, which is what makes the `UnsafeCell` sound.
     retired: UnsafeCell<SysVec<Retired>>,
@@ -89,16 +97,52 @@ impl Record {
         }
         self.active.store(false, Ordering::Release);
     }
+
+    /// The owner's process-generation stamp.
+    pub fn generation(&self) -> u64 {
+        self.gen.load(Ordering::Acquire)
+    }
+
+    /// Re-stamps the record with generation `g` (owner thread, or the
+    /// single-threaded forked child, only).
+    pub fn set_generation(&self, g: u64) {
+        self.gen.store(g, Ordering::Release);
+    }
+
+    /// Claims an orphaned record by advancing its generation stamp
+    /// `old → new`. The CAS is the claim token: exactly one claimant per
+    /// fork generation wins, even racing other recovery threads.
+    pub fn claim_generation(&self, old: u64, new: u64) -> bool {
+        self.gen
+            .compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Nulls every hazard slot of a record whose owner died in a fork.
+    /// Only sound after winning [`claim_generation`](Self::claim_generation)
+    /// on a record that stayed `active` across the fork — the dead owner
+    /// can never publish again.
+    pub unsafe fn clear_dead_hazards(&self) {
+        for h in &self.hazards {
+            h.store(core::ptr::null_mut(), Ordering::Release);
+        }
+    }
 }
 
 /// Acquires a record in `domain` for the calling thread: first tries to
 /// adopt an inactive record, then allocates and links a fresh one.
 pub(crate) fn acquire_record(domain: &HazardDomain) -> *mut Record {
-    // Pass 1: adopt an inactive record.
+    let cur = malloc_api::procfork::generation();
+    // Pass 1: adopt an inactive record. Records stamped with an older
+    // process generation are skipped — they are claimed exclusively by
+    // `HazardDomain::adopt_orphans` (stamp CAS), which re-publishes them
+    // for normal adoption once drained. Checking the stamp *before* the
+    // try-lock means a live thread never owns a stale-stamped record, so
+    // the orphan claimer can treat "active + stale" as "owner is dead".
     let mut p = domain.record_head().load(Ordering::Acquire);
     while !p.is_null() {
         let rec = unsafe { &*p };
-        if rec.try_adopt() {
+        if rec.generation() == cur && rec.try_adopt() {
             return p;
         }
         p = rec.next;
@@ -112,6 +156,7 @@ pub(crate) fn acquire_record(domain: &HazardDomain) -> *mut Record {
             hazards: Default::default(),
             next: core::ptr::null_mut(),
             active: AtomicBool::new(true),
+            gen: AtomicU64::new(cur),
             retired: UnsafeCell::new(SysVec::new()),
         });
     }
@@ -154,6 +199,26 @@ impl Drop for TlsCache {
 
 thread_local! {
     static CACHE: RefCell<TlsCache> = const { RefCell::new(TlsCache { entries: SysVec::new() }) };
+}
+
+/// Re-stamps the calling thread's cached record for `domain` with the
+/// current process generation. The forking thread calls this (via
+/// `HazardDomain::restamp_current_thread`) in the child, while still
+/// single-threaded, *before* any `adopt_orphans` pass runs — its record
+/// survived the fork with the thread, and the fresh stamp keeps the
+/// orphan claimer's hands off it.
+pub(crate) fn restamp_cached(domain: &HazardDomain) {
+    let cur = malloc_api::procfork::generation();
+    let _ = CACHE.try_with(|cell| {
+        let cache = cell.borrow();
+        let id = domain.domain_id();
+        for i in 0..cache.entries.len() {
+            let (eid, rec) = cache.entries.get(i).unwrap();
+            if eid == id {
+                unsafe { (*(rec as *mut Record)).set_generation(cur) };
+            }
+        }
+    });
 }
 
 /// Returns the calling thread's record for `domain`, acquiring and

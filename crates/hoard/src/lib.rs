@@ -372,6 +372,107 @@ impl<S: PageSource> core::fmt::Debug for Hoard<S> {
     }
 }
 
+impl<S: PageSource> Hoard<S> {
+    /// Makes this allocator fork-safe for the lifetime of the returned
+    /// guard, by registering [`malloc_api::procfork`] hooks that hold
+    /// **every** heap lock across `fork`: prepare acquires the
+    /// processor heaps in index order and the global heap last —
+    /// matching the hot paths' heap→global order, so prepare can never
+    /// deadlock against a concurrent `malloc_small` — and parent and
+    /// child both release them. Without this, a fork racing another
+    /// thread's malloc snapshots some mutex locked by a thread that
+    /// does not exist in the child, and the child's next allocation on
+    /// that heap deadlocks forever.
+    ///
+    /// Only forks that run the procfork hook protocol
+    /// ([`malloc_api::procfork::fork`], or raw `fork(2)` after
+    /// [`malloc_api::procfork::install`]) are covered. The prepare hook
+    /// allocates (a `Vec` of guards), so it must not run inside a
+    /// context where the global allocator is this instance — Hoard is a
+    /// baseline, never the global allocator.
+    pub fn atfork_guard(&self) -> HoardAtforkGuard<'_, S> {
+        let stash = Box::into_raw(Box::new(HoardAtforkStash {
+            alloc: self as *const Hoard<S>,
+            guards: core::cell::UnsafeCell::new(None),
+        }));
+        let token = malloc_api::procfork::register(malloc_api::procfork::HookSet {
+            prepare: Some(hoard_atfork_prepare::<S>),
+            parent: Some(hoard_atfork_release::<S>),
+            child: Some(hoard_atfork_release::<S>),
+            data: stash as usize,
+        });
+        HoardAtforkGuard { token, stash, _alloc: core::marker::PhantomData }
+    }
+}
+
+/// Hook-side state of one [`Hoard::atfork_guard`] registration. Only
+/// the forking thread touches `guards`, under the procfork registry
+/// lock.
+struct HoardAtforkStash<S: PageSource> {
+    alloc: *const Hoard<S>,
+    guards: core::cell::UnsafeCell<Option<Vec<malloc_api::sync::MutexGuard<'static, crate::heap::HeapInner>>>>,
+}
+
+unsafe fn hoard_atfork_prepare<S: PageSource>(data: usize) {
+    let stash = unsafe { &*(data as *const HoardAtforkStash<S>) };
+    let a = unsafe { &*stash.alloc };
+    let mut guards = Vec::with_capacity(a.heaps.len() + 1);
+    // Processor heaps in index order, then the global heap — the same
+    // partial order the hot paths use (heap lock, then global lock).
+    for heap in &a.heaps {
+        // Lifetime erasure only: released by `hoard_atfork_release` on
+        // this same thread; the allocator outlives the registration.
+        guards.push(unsafe {
+            core::mem::transmute::<
+                malloc_api::sync::MutexGuard<'_, crate::heap::HeapInner>,
+                malloc_api::sync::MutexGuard<'static, crate::heap::HeapInner>,
+            >(heap.inner.lock())
+        });
+    }
+    guards.push(unsafe {
+        core::mem::transmute::<
+            malloc_api::sync::MutexGuard<'_, crate::heap::HeapInner>,
+            malloc_api::sync::MutexGuard<'static, crate::heap::HeapInner>,
+        >(a.global.inner.lock())
+    });
+    unsafe { *stash.guards.get() = Some(guards) };
+}
+
+/// Parent and child both just unlock: the forking thread holds every
+/// lock, so in both processes the heaps are consistent and the mutexes
+/// are ours to release.
+unsafe fn hoard_atfork_release<S: PageSource>(data: usize) {
+    let stash = unsafe { &*(data as *const HoardAtforkStash<S>) };
+    drop(unsafe { (*stash.guards.get()).take() });
+}
+
+/// RAII registration handle returned by [`Hoard::atfork_guard`];
+/// unregisters the hooks (and frees the hook stash) on drop.
+pub struct HoardAtforkGuard<'a, S: PageSource> {
+    token: Option<malloc_api::procfork::HookToken>,
+    stash: *mut HoardAtforkStash<S>,
+    _alloc: core::marker::PhantomData<&'a Hoard<S>>,
+}
+
+impl<S: PageSource> HoardAtforkGuard<'_, S> {
+    /// False when the procfork registry was full and no hooks could be
+    /// installed (the guard is inert; fork safety is not provided).
+    pub fn is_armed(&self) -> bool {
+        self.token.is_some()
+    }
+}
+
+impl<S: PageSource> Drop for HoardAtforkGuard<'_, S> {
+    fn drop(&mut self) {
+        if let Some(token) = self.token.take() {
+            // Blocks until any in-flight fork's hooks have run, so the
+            // stash is quiescent when freed.
+            malloc_api::procfork::unregister(token);
+        }
+        drop(unsafe { Box::from_raw(self.stash) });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,6 +482,17 @@ mod tests {
     fn full_conformance_battery() {
         let a = Arc::new(Hoard::new(4));
         testkit::check_all(a);
+    }
+
+    #[test]
+    fn atfork_guard_registers_and_unregisters() {
+        let a = Hoard::new(2);
+        let before = malloc_api::procfork::registered_count();
+        let g = a.atfork_guard();
+        assert!(g.is_armed());
+        assert_eq!(malloc_api::procfork::registered_count(), before + 1);
+        drop(g);
+        assert_eq!(malloc_api::procfork::registered_count(), before);
     }
 
     #[test]

@@ -107,6 +107,16 @@ pub struct Config {
     /// [`start_reaper`](crate::LfMalloc::start_reaper) explicitly).
     /// `None` (default): maintenance only runs when the caller asks.
     pub reaper: Option<ReaperConfig>,
+    /// Fork awareness: when `true` (default) the instance registers
+    /// prepare/parent/child hooks with [`malloc_api::procfork`] at
+    /// construction, so forking through [`malloc_api::procfork::fork`]
+    /// (or `fork(2)` itself once [`malloc_api::procfork::install`] has
+    /// bridged the registry into `pthread_atfork`) quiesces the reaper
+    /// across the fork and runs child-side heap recovery eagerly. When
+    /// `false`, recovery still happens — lazily, on the child's first
+    /// allocator call — but the reaper handoff is best-effort only. See
+    /// the [`fork`](crate::fork) module and DESIGN.md §12.
+    pub atfork: bool,
 }
 
 impl Config {
@@ -124,6 +134,7 @@ impl Config {
             hardening: Hardening::Off,
             liveness: LivenessConfig::default_const(),
             reaper: None,
+            atfork: true,
         }
     }
 
@@ -139,6 +150,7 @@ impl Config {
             hardening: Hardening::Off,
             liveness: LivenessConfig::default_const(),
             reaper: None,
+            atfork: true,
         }
     }
 
@@ -152,6 +164,7 @@ impl Config {
             hardening: Hardening::Off,
             liveness: LivenessConfig::default_const(),
             reaper: None,
+            atfork: true,
         }
     }
 
@@ -179,6 +192,17 @@ impl Config {
     /// Enables the background reaper with the given period and budget.
     pub const fn with_reaper(self, r: ReaperConfig) -> Self {
         Config { reaper: Some(r), ..self }
+    }
+
+    /// Enables or disables automatic atfork-hook registration.
+    pub const fn with_atfork(self, on: bool) -> Self {
+        Config { atfork: on, ..self }
+    }
+
+    /// Shorthand for `with_atfork(false)`: no hooks are registered and
+    /// child-side recovery is purely lazy.
+    pub const fn without_atfork(self) -> Self {
+        self.with_atfork(false)
     }
 }
 
@@ -241,6 +265,16 @@ mod tests {
             .with_liveness(LivenessConfig::new(16, LivenessPolicy::Abort));
         assert_eq!(CUSTOM.liveness.retry_ceiling, 16);
         assert_eq!(CUSTOM.liveness.policy, LivenessPolicy::Abort);
+    }
+
+    #[test]
+    fn atfork_defaults_on_and_override() {
+        for c in [Config::detect(), Config::with_heaps(2), Config::uniprocessor()] {
+            assert!(c.atfork, "atfork hooks default on");
+        }
+        const OFF: Config = Config::with_heaps(1).without_atfork();
+        assert!(!OFF.atfork);
+        assert!(OFF.with_atfork(true).atfork);
     }
 
     #[test]

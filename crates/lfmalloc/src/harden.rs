@@ -63,6 +63,12 @@ pub enum MisuseKind {
     PoisonViolation,
     /// A large block's canary guard page was overwritten.
     GuardOverrun,
+    /// An allocator entry point re-entered itself on the same thread —
+    /// a signal handler called `malloc`/`free` while the interrupted
+    /// code was already inside the allocator. The nested call is
+    /// rejected (null / leaked) instead of risking a torn fast path;
+    /// see the [`fork`](crate::fork) module's signal-safety contract.
+    ReentrantAlloc,
 }
 
 impl MisuseKind {
@@ -74,6 +80,7 @@ impl MisuseKind {
             MisuseKind::DoubleFree => 1,
             MisuseKind::PoisonViolation => 2,
             MisuseKind::GuardOverrun => 3,
+            MisuseKind::ReentrantAlloc => 4,
         }
     }
 
@@ -83,13 +90,14 @@ impl MisuseKind {
             1 => Some(MisuseKind::DoubleFree),
             2 => Some(MisuseKind::PoisonViolation),
             3 => Some(MisuseKind::GuardOverrun),
+            4 => Some(MisuseKind::ReentrantAlloc),
             _ => None,
         }
     }
 }
 
 /// Number of [`MisuseKind`] variants.
-const NUM_KINDS: usize = 4;
+const NUM_KINDS: usize = 5;
 
 /// One detected deallocation misuse.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -143,6 +151,7 @@ impl MisuseCounters {
     pub const fn new() -> Self {
         MisuseCounters {
             counts: [
+                AtomicU64::new(0),
                 AtomicU64::new(0),
                 AtomicU64::new(0),
                 AtomicU64::new(0),

@@ -198,6 +198,8 @@ pub(crate) struct HealthState {
     /// Highest retired-queue depth observed at watch/maintain sampling
     /// points (always-on companion to the `stats`-gated true high-water).
     retired_hwm: AtomicU64,
+    /// Child-side fork recoveries performed (see [`crate::fork`]).
+    fork_recoveries: AtomicU64,
     /// Audit-slice cursor into the descriptor universe.
     audit_cursor: AtomicUsize,
     /// Last trim target handed to maintenance ([`usize::MAX`] = none).
@@ -219,6 +221,7 @@ impl HealthState {
             audit_slice_flagged: AtomicU64::new(0),
             last_audit_violations: AtomicU64::new(AUDIT_NEVER),
             retired_hwm: AtomicU64::new(0),
+            fork_recoveries: AtomicU64::new(0),
             audit_cursor: AtomicUsize::new(0),
             watermark: AtomicUsize::new(usize::MAX),
         }
@@ -252,6 +255,11 @@ impl HealthState {
     /// Records a maintenance trim target (the OS-byte watermark).
     pub(crate) fn note_watermark(&self, target: usize) {
         self.watermark.store(target, Ordering::Relaxed);
+    }
+
+    /// Counts one completed child-side fork recovery.
+    pub(crate) fn note_fork_recovery(&self) {
+        self.fork_recoveries.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Lock-free max on the observed retired depth.
@@ -389,6 +397,12 @@ pub struct HealthSnapshot {
     pub os_live_bytes: usize,
     /// Last maintenance trim target, if any trim has been requested.
     pub os_watermark: Option<usize>,
+    /// Process-fork generation this instance has recovered to (equals
+    /// [`malloc_api::procfork::generation`] unless a fork happened and
+    /// no allocator call has run in the child yet).
+    pub fork_generation: u64,
+    /// Child-side fork recoveries this instance has performed.
+    pub fork_recoveries: u64,
 }
 
 impl HealthSnapshot {
@@ -428,7 +442,8 @@ impl HealthSnapshot {
              \"last_audit_violations\":{},\"hazard_records\":{},\
              \"hazard_retired\":{},\"hazard_retired_high_water\":{},\
              \"hazard_leaked\":{},\"quarantine_depth\":{},\
-             \"os_live_bytes\":{},\"os_watermark\":{}}}",
+             \"os_live_bytes\":{},\"os_watermark\":{},\
+             \"fork_generation\":{},\"fork_recoveries\":{}}}",
             self.is_degraded(),
             self.policy.label(),
             self.retry_ceiling,
@@ -455,6 +470,8 @@ impl HealthSnapshot {
                 Some(w) => w.to_string(),
                 None => "null".into(),
             },
+            self.fork_generation,
+            self.fork_recoveries,
         )
     }
 }
@@ -493,6 +510,8 @@ impl<S: PageSource> LfMalloc<S> {
             quarantine_depth: inner.quarantine_depth(),
             os_live_bytes: inner.source.stats().live_bytes,
             os_watermark: if watermark == usize::MAX { None } else { Some(watermark) },
+            fork_generation: inner.fork.recovered_generation(),
+            fork_recoveries: h.fork_recoveries.load(Ordering::Relaxed),
         }
     }
 }
@@ -538,9 +557,16 @@ mod tests {
         assert_eq!(h.last_audit_violations, None);
         assert!(h.os_live_bytes > 0);
         assert!(h.os_watermark.is_none());
+        assert_eq!(h.fork_recoveries, 0, "no fork happened");
+        assert_eq!(
+            h.fork_generation,
+            malloc_api::procfork::generation(),
+            "fresh instance is recovered to the current generation"
+        );
         let json = h.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"degraded\":false"));
+        assert!(json.contains("\"fork_recoveries\":0"));
     }
 
     #[test]

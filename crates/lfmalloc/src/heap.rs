@@ -96,7 +96,15 @@ impl ProcHeap {
 static NEXT_THREAD_ID: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
-    static THREAD_ID: usize = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+    /// `(process generation, thread id)`. The id is issued lazily and
+    /// re-issued whenever the stored generation lags
+    /// [`malloc_api::procfork::generation`]: the TLS cell survives a
+    /// fork verbatim, but a parent-era id must not leak into the child —
+    /// recycled ids would alias heap slots whose parent owners died
+    /// mid-operation. `u64::MAX` is the "never issued" sentinel (the
+    /// generation counter starts at 0 and only increments).
+    static THREAD_SLOT: core::cell::Cell<(u64, usize)> =
+        const { core::cell::Cell::new((u64::MAX, 0)) };
 }
 
 /// A small, dense per-thread id ("Threads use their thread ids to decide
@@ -120,7 +128,23 @@ pub fn thread_id() -> usize {
 /// it into id 0.
 #[inline]
 pub fn try_thread_id() -> Option<usize> {
-    THREAD_ID.try_with(|id| *id).ok()
+    THREAD_SLOT
+        .try_with(|slot| {
+            let cur = malloc_api::procfork::generation();
+            let (gen, id) = slot.get();
+            if gen == cur {
+                id
+            } else {
+                // First use on this thread, or first use since a fork:
+                // issue a fresh id. `NEXT_THREAD_ID` keeps counting from
+                // the parent's value, so a child id can never collide
+                // with an id some parent thread stamped into heap state.
+                let id = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+                slot.set((cur, id));
+                id
+            }
+        })
+        .ok()
 }
 
 /// Maps the calling thread to a heap index under `mode`.

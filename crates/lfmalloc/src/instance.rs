@@ -71,6 +71,9 @@ pub(crate) struct Inner<S: PageSource> {
     pub health: crate::health::HealthState,
     /// Background-reaper control plane (see [`crate::maintain`]).
     pub reaper: crate::maintain::ReaperState,
+    /// Fork bookkeeping: recovered generation, atfork-hook token, and
+    /// the across-fork reaper-guard stash (see [`crate::fork`]).
+    pub fork: crate::fork::ForkState,
     /// Planted-bug state for the shadow-heap oracle tests: the most
     /// recent small block handed out, plus its class index. Only read
     /// when the `alloc.double_handout` failpoint is armed; see
@@ -289,6 +292,7 @@ impl<S: PageSource> LfMalloc<S> {
                 quarantine,
                 health: crate::health::HealthState::new(),
                 reaper: crate::maintain::ReaperState::new(),
+                fork: crate::fork::ForkState::new(),
                 #[cfg(feature = "failpoints")]
                 bug_stash: AtomicUsize::new(0),
                 #[cfg(feature = "failpoints")]
@@ -300,6 +304,14 @@ impl<S: PageSource> LfMalloc<S> {
             // the domain has a stable address.
             for class in &(*inner).classes {
                 class.partial.init(&(*inner).domain);
+            }
+            // Fork awareness: register atfork hooks against the (now
+            // address-stable) instance. This touches only the in-tree
+            // procfork registry — never `pthread_atfork`, which may
+            // itself malloc and so must not run inside the global
+            // allocator's first-call initialization.
+            if config.atfork {
+                crate::fork::register_instance(&*inner);
             }
             Ok(LfMalloc { inner: NonNull::new_unchecked(inner) })
         }
@@ -501,6 +513,13 @@ impl<S: PageSource> LfMalloc<S> {
     pub unsafe fn allocate(&self, size: usize, align: usize) -> *mut u8 {
         debug_assert!(align.is_power_of_two());
         let inner = self.inner();
+        let Some(_reentry) = crate::fork::enter_alloc() else {
+            // Signal handler re-entered the allocator on this thread:
+            // fail fast instead of racing our own interrupted frame.
+            crate::fork::reject_reentrant(inner, 0);
+            return core::ptr::null_mut();
+        };
+        crate::fork::maybe_recover(inner);
         let off = align.max(PREFIX_SIZE);
         let Some(total) = size.checked_add(off) else {
             return core::ptr::null_mut();
@@ -532,6 +551,11 @@ impl<S: PageSource> LfMalloc<S> {
     /// Standard malloc contract; see [`RawMalloc::malloc_zeroed`].
     pub unsafe fn allocate_zeroed(&self, size: usize) -> *mut u8 {
         let inner = self.inner();
+        let Some(_reentry) = crate::fork::enter_alloc() else {
+            crate::fork::reject_reentrant(inner, 0);
+            return core::ptr::null_mut();
+        };
+        crate::fork::maybe_recover(inner);
         let off = PREFIX_SIZE;
         let Some(total) = size.checked_add(off) else {
             return core::ptr::null_mut();
@@ -601,6 +625,13 @@ impl<S: PageSource> LfMalloc<S> {
             return;
         }
         let inner = self.inner();
+        let Some(_reentry) = crate::fork::enter_alloc() else {
+            // Reentrant free: leaking the block is the only safe answer
+            // (touching the anchor could race our interrupted frame).
+            crate::fork::reject_reentrant(inner, ptr as usize);
+            return;
+        };
+        crate::fork::maybe_recover(inner);
         if inner.config.hardening != Hardening::Off {
             // The validated path establishes provenance before touching
             // any memory; misuse is reported, never executed.
@@ -657,9 +688,15 @@ unsafe impl<S: PageSource + Send + Sync> RawMalloc for LfMalloc<S> {
 
 impl<S: PageSource> Drop for LfMalloc<S> {
     fn drop(&mut self) {
-        // 0. Stop and join the background reaper (if any) before any
-        //    state is torn down: a maintenance pass must never race
-        //    teardown.
+        // 0a. Unregister the atfork hooks before anything is torn down:
+        //     unregistration serializes on the procfork registry lock,
+        //     which an in-flight fork holds from prepare to
+        //     parent/child, so after this no hook can see the dying
+        //     instance.
+        crate::fork::unregister_instance(self.inner());
+        // 0b. Stop and join the background reaper (if any) before any
+        //     state is torn down: a maintenance pass must never race
+        //     teardown.
         crate::maintain::stop_reaper_inner(self.inner());
         unsafe {
             let inner = self.inner.as_ptr();

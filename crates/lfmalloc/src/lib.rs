@@ -110,6 +110,7 @@ pub mod anchor;
 pub mod audit;
 pub mod config;
 pub mod descriptor;
+pub mod fork;
 pub mod free_impl;
 pub mod global;
 pub mod harden;

@@ -173,15 +173,33 @@ impl ReaperConfig {
 }
 
 /// Reaper control plane, embedded in `Inner`. The mutex guards only the
-/// join handle — it is touched by `start_reaper`/`stop_reaper`/`drop`,
-/// never by an allocation path, so hot-path lock-freedom is unaffected.
+/// join-handle box — it is touched by `start_reaper`/`stop_reaper`/
+/// `drop`/the atfork hooks, never by an allocation path, so hot-path
+/// lock-freedom is unaffected.
 #[derive(Debug)]
 pub(crate) struct ReaperState {
     /// Tells the reaper thread to exit at its next wake-up.
     stop: AtomicBool,
     /// True while a reaper thread is installed (start-once latch).
     running: AtomicBool,
-    handle: std::sync::Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Monomorphized respawn trampoline (`respawn_thunk::<S>` as a
+    /// `usize`; 0 until the first `start_reaper_with`). Stored where the
+    /// `S: Send + Sync + 'static` bounds exist so fork recovery — which
+    /// only has `S: PageSource` — can restart the reaper in the child.
+    respawn: core::sync::atomic::AtomicUsize,
+    handle: std::sync::Mutex<ReaperBox>,
+}
+
+/// Mutex-protected reaper bookkeeping: the join handle, the config it
+/// was spawned with (for child-side respawn after a fork), and the
+/// process generation it was spawned in (a handle from an older
+/// generation refers to a thread that died in a fork and must be
+/// dropped, never joined).
+#[derive(Debug)]
+pub(crate) struct ReaperBox {
+    pub(crate) handle: Option<std::thread::JoinHandle<()>>,
+    pub(crate) cfg: Option<ReaperConfig>,
+    pub(crate) spawn_gen: u64,
 }
 
 impl ReaperState {
@@ -189,9 +207,77 @@ impl ReaperState {
         ReaperState {
             stop: AtomicBool::new(false),
             running: AtomicBool::new(false),
-            handle: std::sync::Mutex::new(None),
+            respawn: core::sync::atomic::AtomicUsize::new(0),
+            handle: std::sync::Mutex::new(ReaperBox { handle: None, cfg: None, spawn_gen: 0 }),
         }
     }
+
+    /// Locks the handle box (poison-ignoring: a reaper panicking while
+    /// holding it must not wedge teardown or fork recovery).
+    pub(crate) fn lock_handle(&self) -> std::sync::MutexGuard<'_, ReaperBox> {
+        self.handle.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The stored respawn trampoline (0 = reaper never started).
+    pub(crate) fn respawn_thunk(&self) -> usize {
+        self.respawn.load(Ordering::Acquire)
+    }
+
+    /// With the handle box locked, clears state left by a reaper thread
+    /// that died in a fork: the stale-generation handle is dropped
+    /// (detached) **without joining** — the thread does not exist in
+    /// this process — and the start-once latch is released so the
+    /// reaper can be respawned. Returns the dead reaper's config when
+    /// one was actually running at fork time; `None` when there is
+    /// nothing to recover (same generation, or no reaper installed).
+    pub(crate) fn clear_dead(&self, boxed: &mut ReaperBox, cur_gen: u64) -> Option<ReaperConfig> {
+        if boxed.spawn_gen == cur_gen {
+            return None;
+        }
+        boxed.spawn_gen = cur_gen;
+        if !self.running.load(Ordering::Acquire) {
+            return None;
+        }
+        drop(boxed.handle.take());
+        self.stop.store(false, Ordering::Release);
+        self.running.store(false, Ordering::Release);
+        boxed.cfg
+    }
+}
+
+/// Fork-aware reaper reconciliation: detects a handle spawned in an
+/// older process generation (its thread died in the fork) and clears it
+/// without joining. `try_lock` keeps this non-blocking — if the box is
+/// held (the mutex was copied locked across a raw, un-hooked fork) the
+/// reconcile is skipped; the hooked fork path never leaves it locked.
+/// Returns the dead reaper's config so callers can respawn it.
+pub(crate) fn reaper_reconcile<S: PageSource>(inner: &Inner<S>) -> Option<ReaperConfig> {
+    let cur = malloc_api::procfork::generation();
+    let mut boxed = match inner.reaper.handle.try_lock() {
+        Ok(g) => g,
+        Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+        Err(std::sync::TryLockError::WouldBlock) => return None,
+    };
+    inner.reaper.clear_dead(&mut boxed, cur)
+}
+
+/// Monomorphized respawn trampoline, stored (as a `usize`) in
+/// [`ReaperState::respawn`] by `start_reaper_with`, where the
+/// `Send + Sync + 'static` bounds on `S` are available. Fork recovery
+/// calls it through the erased pointer to restart the reaper in the
+/// child.
+///
+/// # Safety
+///
+/// `inner` must point at the live `Inner<S>` instance whose
+/// `start_reaper_with` stored this exact monomorphization.
+pub(crate) unsafe fn respawn_thunk<S: PageSource + Send + Sync + 'static>(
+    inner: *mut (),
+    cfg: ReaperConfig,
+) -> bool {
+    let inner = unsafe { core::ptr::NonNull::new_unchecked(inner as *mut Inner<S>) };
+    let shim = unsafe { LfMalloc::<S>::borrow_raw(inner) };
+    shim.start_reaper_with(cfg)
 }
 
 /// Shuttles the instance pointer into the reaper thread. Sound because
@@ -292,6 +378,9 @@ impl<S: PageSource + Send + Sync + 'static> LfMalloc<S> {
     /// is already running or the thread could not be spawned.
     pub fn start_reaper_with(&self, cfg: ReaperConfig) -> bool {
         let inner = self.inner();
+        // A reaper latch left set by a pre-fork parent must not block
+        // the child's (re)start: its thread died in the fork.
+        reaper_reconcile(inner);
         if inner
             .reaper
             .running
@@ -321,7 +410,15 @@ impl<S: PageSource + Send + Sync + 'static> LfMalloc<S> {
             });
         match spawned {
             Ok(h) => {
-                *inner.reaper.handle.lock().unwrap() = Some(h);
+                let mut boxed = inner.reaper.lock_handle();
+                boxed.handle = Some(h);
+                boxed.cfg = Some(cfg);
+                boxed.spawn_gen = malloc_api::procfork::generation();
+                drop(boxed);
+                inner.reaper.respawn.store(
+                    respawn_thunk::<S> as unsafe fn(*mut (), ReaperConfig) -> bool as usize,
+                    Ordering::Release,
+                );
                 true
             }
             Err(_) => {
@@ -335,11 +432,15 @@ impl<S: PageSource + Send + Sync + 'static> LfMalloc<S> {
 /// Stop/join path shared by [`LfMalloc::stop_reaper`] and `drop` (which
 /// has no `Send + Sync` bounds on `S`, so this must not require them).
 pub(crate) fn stop_reaper_inner<S: PageSource>(inner: &Inner<S>) -> bool {
+    // Fork-aware: a reaper that died in a fork is cleared here, never
+    // joined (joining a handle whose thread was lost to `fork` would
+    // block forever).
+    reaper_reconcile(inner);
     if !inner.reaper.running.load(Ordering::Acquire) {
         return false;
     }
     inner.reaper.stop.store(true, Ordering::Release);
-    let handle = inner.reaper.handle.lock().unwrap().take();
+    let handle = inner.reaper.lock_handle().handle.take();
     let stopped = match handle {
         Some(h) => {
             h.thread().unpark();

@@ -92,6 +92,12 @@ pub enum EventKind {
     /// A maintenance pass completed; `arg` is the number of objects it
     /// acted on (reaped + flushed + pruned).
     Maintain,
+    /// The process forked with this instance's atfork hooks registered
+    /// (recorded parent-side); `arg` is the parent's process generation.
+    Fork,
+    /// Child-side fork recovery completed; `arg` is the number of
+    /// orphaned hazard records adopted (see [`crate::fork`]).
+    ChildRecover,
 }
 
 impl EventKind {
@@ -105,6 +111,8 @@ impl EventKind {
             EventKind::Trim => "trim",
             EventKind::LivenessStorm => "liveness-storm",
             EventKind::Maintain => "maintain",
+            EventKind::Fork => "fork",
+            EventKind::ChildRecover => "child-recover",
         }
     }
 }
@@ -613,6 +621,13 @@ impl<S: PageSource> LfMalloc<S> {
                 Some(v) => format!("{v} violations"),
                 None => "never ran".into(),
             }
+        )?;
+        writeln!(
+            w,
+            "fork: generation {}  child recoveries {}  reentrant-alloc rejections {}",
+            h.fork_generation,
+            h.fork_recoveries,
+            self.misuse_counters().count(crate::harden::MisuseKind::ReentrantAlloc)
         )?;
         writeln!(w, "per size class (active classes only):")?;
         writeln!(

@@ -36,6 +36,7 @@
 pub mod block;
 pub mod failpoints;
 pub mod layout;
+pub mod procfork;
 pub mod stats;
 pub mod sync;
 #[cfg(feature = "stats")]

@@ -79,6 +79,16 @@ mod mprotect_sys {
 ///
 /// Uses `std::alloc::System` directly (never the Rust global allocator)
 /// so allocators built on it can be installed as `#[global_allocator]`.
+///
+/// # Fork safety
+///
+/// `System` routes to libc `malloc`, and glibc's `fork` runs its own
+/// internal atfork handlers that reacquire the malloc arena locks in a
+/// consistent state on both sides (and has since well before any
+/// toolchain we target). A forked child can therefore request fresh
+/// pages from this source immediately; the allocator-level recovery
+/// protocol (DESIGN.md §12) only has to repair *our* structures, never
+/// the page source underneath.
 #[derive(Debug, Default)]
 pub struct SystemSource;
 

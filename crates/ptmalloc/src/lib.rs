@@ -236,6 +236,124 @@ impl<S: PageSource + Send + Sync> Ptmalloc<S> {
             p.add(OWNER_PREFIX)
         }
     }
+
+    /// Makes this allocator fork-safe for the lifetime of the returned
+    /// guard, by registering [`malloc_api::procfork`] hooks that hold
+    /// every arena lock across `fork`: prepare takes the arena-list
+    /// write lock, then each arena's heap mutex in index order; parent
+    /// and child both release them. Without this, a fork racing another
+    /// thread's malloc snapshots an arena locked by a thread that does
+    /// not exist in the child, and the child's next free to that arena
+    /// blocks forever (malloc would hop past it, but free must take the
+    /// owner's lock).
+    ///
+    /// This order cannot deadlock against the hot paths: malloc holds
+    /// the list *read* lock and only ever `try_lock`s arena heaps (it
+    /// never blocks on one while holding the list), and the new-arena
+    /// path takes the write lock while holding no arena mutex, locking
+    /// the new arena's heap only after dropping it.
+    ///
+    /// Only forks that run the procfork hook protocol
+    /// ([`malloc_api::procfork::fork`], or raw `fork(2)` after
+    /// [`malloc_api::procfork::install`]) are covered. The prepare hook
+    /// allocates (a `Vec` of guards); ptmalloc is a baseline, never the
+    /// Rust global allocator, so that is safe.
+    pub fn atfork_guard(&self) -> PtmallocAtforkGuard<'_, S>
+    where
+        S: 'static,
+    {
+        let stash = Box::into_raw(Box::new(PtmallocAtforkStash {
+            alloc: self as *const Ptmalloc<S>,
+            guards: core::cell::UnsafeCell::new(None),
+        }));
+        let token = malloc_api::procfork::register(malloc_api::procfork::HookSet {
+            prepare: Some(ptmalloc_atfork_prepare::<S>),
+            parent: Some(ptmalloc_atfork_release::<S>),
+            child: Some(ptmalloc_atfork_release::<S>),
+            data: stash as usize,
+        });
+        PtmallocAtforkGuard { token, stash, _alloc: core::marker::PhantomData }
+    }
+}
+
+/// Everything the forking thread holds across `fork`. Field order is
+/// drop order: the arena heap guards release before the list write
+/// guard, so no thread can observe a grown list whose arenas are still
+/// locked by the (possibly gone) forking thread.
+struct PtmallocForkGuards<S: PageSource + 'static> {
+    _heaps: Vec<malloc_api::sync::MutexGuard<'static, SerialHeap<S>>>,
+    _list: malloc_api::sync::RwLockWriteGuard<'static, Vec<Arc<Arena<S>>>>,
+}
+
+/// Hook-side state of one [`Ptmalloc::atfork_guard`] registration. Only
+/// the forking thread touches `guards`, under the procfork registry
+/// lock.
+struct PtmallocAtforkStash<S: PageSource + 'static> {
+    alloc: *const Ptmalloc<S>,
+    guards: core::cell::UnsafeCell<Option<PtmallocForkGuards<S>>>,
+}
+
+unsafe fn ptmalloc_atfork_prepare<S: PageSource + 'static>(data: usize) {
+    let stash = unsafe { &*(data as *const PtmallocAtforkStash<S>) };
+    let a = unsafe { &*stash.alloc };
+    // List write lock first: freezes the arena set and excludes the
+    // new-arena path (which never holds an arena mutex while waiting
+    // here).
+    let list = unsafe {
+        core::mem::transmute::<
+            malloc_api::sync::RwLockWriteGuard<'_, Vec<Arc<Arena<S>>>>,
+            malloc_api::sync::RwLockWriteGuard<'static, Vec<Arc<Arena<S>>>>,
+        >(a.arenas.write())
+    };
+    // Then every arena heap, in index order. Lifetime erasure only:
+    // released by `ptmalloc_atfork_release` on this same thread, and
+    // the arenas outlive the registration (the list holds their Arcs
+    // and the allocator outlives the guard).
+    let mut heaps = Vec::with_capacity(list.len());
+    for arena in list.iter() {
+        heaps.push(unsafe {
+            core::mem::transmute::<
+                malloc_api::sync::MutexGuard<'_, SerialHeap<S>>,
+                malloc_api::sync::MutexGuard<'static, SerialHeap<S>>,
+            >(arena.heap.lock())
+        });
+    }
+    unsafe { *stash.guards.get() = Some(PtmallocForkGuards { _heaps: heaps, _list: list }) };
+}
+
+/// Parent and child both just unlock: the forking thread holds every
+/// lock, so in both processes the arenas are consistent and the locks
+/// are ours to release.
+unsafe fn ptmalloc_atfork_release<S: PageSource + 'static>(data: usize) {
+    let stash = unsafe { &*(data as *const PtmallocAtforkStash<S>) };
+    drop(unsafe { (*stash.guards.get()).take() });
+}
+
+/// RAII registration handle returned by [`Ptmalloc::atfork_guard`];
+/// unregisters the hooks (and frees the hook stash) on drop.
+pub struct PtmallocAtforkGuard<'a, S: PageSource + 'static> {
+    token: Option<malloc_api::procfork::HookToken>,
+    stash: *mut PtmallocAtforkStash<S>,
+    _alloc: core::marker::PhantomData<&'a Ptmalloc<S>>,
+}
+
+impl<S: PageSource + 'static> PtmallocAtforkGuard<'_, S> {
+    /// False when the procfork registry was full and no hooks could be
+    /// installed (the guard is inert; fork safety is not provided).
+    pub fn is_armed(&self) -> bool {
+        self.token.is_some()
+    }
+}
+
+impl<S: PageSource + 'static> Drop for PtmallocAtforkGuard<'_, S> {
+    fn drop(&mut self) {
+        if let Some(token) = self.token.take() {
+            // Blocks until any in-flight fork's hooks have run, so the
+            // stash is quiescent when freed.
+            malloc_api::procfork::unregister(token);
+        }
+        drop(unsafe { Box::from_raw(self.stash) });
+    }
 }
 
 unsafe impl<S: PageSource + Send + Sync> RawMalloc for Ptmalloc<S> {
@@ -469,4 +587,15 @@ mod tests {
             a.free(p);
         }
     }
+    #[test]
+    fn atfork_guard_registers_and_unregisters() {
+        let a = Ptmalloc::new();
+        let before = malloc_api::procfork::registered_count();
+        let g = a.atfork_guard();
+        assert!(g.is_armed());
+        assert_eq!(malloc_api::procfork::registered_count(), before + 1);
+        drop(g);
+        assert_eq!(malloc_api::procfork::registered_count(), before);
+    }
+
 }
