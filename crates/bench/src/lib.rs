@@ -36,14 +36,26 @@ pub fn stats_json_record(
 ) -> String {
     let (alloc, lf) = registry::make_lf_instrumented(heaps);
     let r = run_workload(w, alloc, threads, scale);
+    // Headline latency percentiles and the fragmentation ratio are
+    // lifted to the top level so plots and `lfstat diff` don't have to
+    // dig into the embedded snapshot; the full per-path histograms stay
+    // inside `stats.latency` / `stats.fragmentation`.
+    let snap = lf.stats();
+    let m = snap.latency.malloc_all();
     format!(
-        "{{\"bench\":\"{}\",\"workload\":\"{}\",\"threads\":{},\"ops\":{},\"ns_per_op\":{:.1},\"stats\":{}}}",
+        "{{\"bench\":\"{}\",\"workload\":\"{}\",\"threads\":{},\"ops\":{},\"ns_per_op\":{:.1},\
+         \"p50_malloc_ns\":{},\"p99_malloc_ns\":{},\"p999_malloc_ns\":{},\
+         \"external_frag_permille\":{},\"stats\":{}}}",
         bench,
         w.label(),
         threads,
         r.ops,
         r.ns_per_op(),
-        lf.stats().to_json()
+        m.percentile(0.50),
+        m.percentile(0.99),
+        m.percentile(0.999),
+        snap.fragmentation.external_frag_permille(),
+        snap.to_json()
     )
 }
 

@@ -71,20 +71,26 @@ pub(crate) unsafe fn malloc_small<S: PageSource>(
     #[cfg(not(feature = "failpoints"))]
     let stash = |p: *mut u8| p;
     let heap = inner.heap_for(ci);
+    // Latency classification follows the serving arm: Active hits are
+    // the fast path, partial/new-superblock hits the slow path.
+    let t0 = crate::lat_start!();
     loop {
         if let Some((block, desc)) = unsafe { malloc_from_active(inner, heap) } {
             crate::stat!(inner, heap, malloc_fast);
+            crate::stat_lat!(inner, lat_malloc_fast, t0);
             unsafe { note_alloc(inner, block, desc) };
             return stash(unsafe { finish_block(block, desc, off) });
         }
         if let Some((block, desc)) = unsafe { malloc_from_partial(inner, heap) } {
             crate::stat!(inner, heap, malloc_slow);
+            crate::stat_lat!(inner, lat_malloc_slow, t0);
             unsafe { note_alloc(inner, block, desc) };
             return stash(unsafe { finish_block(block, desc, off) });
         }
         match unsafe { malloc_from_new_sb(inner, heap) } {
             NewSb::Done(Some((block, desc))) => {
                 crate::stat!(inner, heap, malloc_newsb);
+                crate::stat_lat!(inner, lat_malloc_slow, t0);
                 unsafe { note_alloc(inner, block, desc) };
                 return stash(unsafe { finish_block(block, desc, off) });
             }

@@ -74,6 +74,44 @@ pub enum PartialMode {
     List,
 }
 
+/// Allocation-sampler parameters (read only when the `profile` cargo
+/// feature is compiled in; carried unconditionally because two words of
+/// configuration cost nothing and keep [`Config`]'s shape
+/// feature-independent).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProfileParams {
+    /// Mean bytes of allocation traffic between samples. Every thread
+    /// counts requested bytes down from a deterministic per-thread phase
+    /// and samples the allocation that crosses zero, so each sample
+    /// statistically represents ~`stride_bytes` of live traffic.
+    pub stride_bytes: u64,
+    /// Seed of the per-thread stride phases. Same seed + same
+    /// single-threaded allocation sequence ⇒ identical samples.
+    pub seed: u64,
+}
+
+impl ProfileParams {
+    /// Default: one sample per ~512 KiB of allocation traffic, seeded
+    /// with the splitmix64 golden-ratio increment.
+    pub const fn default_const() -> Self {
+        ProfileParams { stride_bytes: 512 * 1024, seed: 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// Custom stride and seed (`stride_bytes` is clamped to ≥ 1).
+    pub const fn new(stride_bytes: u64, seed: u64) -> Self {
+        ProfileParams {
+            stride_bytes: if stride_bytes == 0 { 1 } else { stride_bytes },
+            seed,
+        }
+    }
+}
+
+impl Default for ProfileParams {
+    fn default() -> Self {
+        Self::default_const()
+    }
+}
+
 /// Tunable allocator parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct Config {
@@ -117,6 +155,9 @@ pub struct Config {
     /// allocator call — but the reaper handoff is best-effort only. See
     /// the [`fork`](crate::fork) module and DESIGN.md §12.
     pub atfork: bool,
+    /// Allocation-sampler stride/seed (active only with the `profile`
+    /// cargo feature; see the `profile` module).
+    pub profile: ProfileParams,
 }
 
 impl Config {
@@ -135,6 +176,7 @@ impl Config {
             liveness: LivenessConfig::default_const(),
             reaper: None,
             atfork: true,
+            profile: ProfileParams::default_const(),
         }
     }
 
@@ -151,6 +193,7 @@ impl Config {
             liveness: LivenessConfig::default_const(),
             reaper: None,
             atfork: true,
+            profile: ProfileParams::default_const(),
         }
     }
 
@@ -165,6 +208,7 @@ impl Config {
             liveness: LivenessConfig::default_const(),
             reaper: None,
             atfork: true,
+            profile: ProfileParams::default_const(),
         }
     }
 
@@ -203,6 +247,12 @@ impl Config {
     /// child-side recovery is purely lazy.
     pub const fn without_atfork(self) -> Self {
         self.with_atfork(false)
+    }
+
+    /// Allocation-sampler stride and seed (no effect unless the
+    /// `profile` cargo feature is compiled in).
+    pub const fn with_profile(self, p: ProfileParams) -> Self {
+        Config { profile: p, ..self }
     }
 }
 
@@ -275,6 +325,18 @@ mod tests {
         const OFF: Config = Config::with_heaps(1).without_atfork();
         assert!(!OFF.atfork);
         assert!(OFF.with_atfork(true).atfork);
+    }
+
+    #[test]
+    fn profile_params_default_and_override() {
+        for c in [Config::detect(), Config::with_heaps(2), Config::uniprocessor()] {
+            assert_eq!(c.profile, ProfileParams::default_const());
+        }
+        const CUSTOM: Config =
+            Config::with_heaps(1).with_profile(ProfileParams::new(4096, 7));
+        assert_eq!(CUSTOM.profile.stride_bytes, 4096);
+        assert_eq!(CUSTOM.profile.seed, 7);
+        assert_eq!(ProfileParams::new(0, 1).stride_bytes, 1, "zero stride is clamped");
     }
 
     #[test]

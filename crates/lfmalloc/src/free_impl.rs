@@ -58,6 +58,9 @@ pub(crate) unsafe fn push_free_block<S: PageSource>(
     let sz = desc.sz() as usize;
     let maxcount = desc.maxcount();
     let idx = ((block - sb) / sz) as u32;
+    // Latency classification: a plain free-list push is the fast path;
+    // an EMPTY transition or FULL→PARTIAL relink is the slow path.
+    let t0 = crate::lat_start!();
 
     // The watchdog needs the owning heap for site attribution; read it
     // now, while the block still pins the descriptor (the heap table
@@ -144,11 +147,15 @@ pub(crate) unsafe fn push_free_block<S: PageSource>(
             inner.sb_pool.dealloc(sb as *mut u8); // line 20
             remove_empty_desc(inner, &*heap, desc_ptr); // line 21
         }
+        crate::stat_lat!(inner, lat_free_slow, t0);
     } else if oldanchor.state() == SbState::Full {
         crate::stat_event!(inner, HeapTransition, owner.class(), sb);
         // lines 22-23: we are the first to free into a FULL superblock;
         // take responsibility for re-linking it.
         unsafe { crate::alloc::heap_put_partial(inner, desc_ptr) };
+        crate::stat_lat!(inner, lat_free_slow, t0);
+    } else {
+        crate::stat_lat!(inner, lat_free_fast, t0);
     }
 }
 

@@ -85,6 +85,9 @@ pub(crate) struct Inner<S: PageSource> {
     /// Telemetry: the shard array, global counters, and the event ring.
     #[cfg(feature = "stats")]
     pub stats: crate::stats::InstanceStats,
+    /// Sampled allocation-site profiler (see [`crate::profile`]).
+    #[cfg(feature = "profile")]
+    pub profile: crate::profile::ProfileState,
 }
 
 impl<S: PageSource> Inner<S> {
@@ -266,6 +269,15 @@ impl<S: PageSource> LfMalloc<S> {
                     return Err(OutOfMemory);
                 }
             };
+            #[cfg(feature = "profile")]
+            let profile = match crate::profile::ProfileState::new(config.profile) {
+                Some(p) => p,
+                None => {
+                    free_quarantine(quarantine);
+                    System.dealloc(heaps as *mut u8, heaps_layout);
+                    return Err(OutOfMemory);
+                }
+            };
             let inner_layout = Layout::new::<Inner<S>>();
             let inner = System.alloc(inner_layout) as *mut Inner<S>;
             if inner.is_null() {
@@ -299,6 +311,8 @@ impl<S: PageSource> LfMalloc<S> {
                 bug_stash_ci: AtomicUsize::new(usize::MAX),
                 #[cfg(feature = "stats")]
                 stats,
+                #[cfg(feature = "profile")]
+                profile,
             });
             // The FIFO partial lists allocate their dummy nodes now that
             // the domain has a stable address.
@@ -416,6 +430,7 @@ impl<S: PageSource> LfMalloc<S> {
     /// Same quiescence contract as [`trim`](Self::trim).
     pub unsafe fn trim_to(&self, target_bytes: usize) -> usize {
         let inner = self.inner();
+        let t0 = crate::lat_start!();
         inner.health.note_watermark(target_bytes);
         // 0. Hardened mode: quarantined blocks pin their superblocks
         //    partially allocated; release them before hunting for fully
@@ -446,6 +461,11 @@ impl<S: PageSource> LfMalloc<S> {
                         let new =
                             old.with_count(maxcount - 1).with_state(SbState::Empty);
                         if desc.cas_anchor(old, new).is_ok() {
+                            // Counted like free()'s EMPTY transition so
+                            // the fragmentation estimator's committed
+                            // figure (new-sb minus emptied) stays true.
+                            crate::stat!(inner, heap, free_empty);
+                            crate::stat_event!(inner, SbRetire, ci, desc.sb() as usize);
                             unsafe {
                                 inner.sb_pool.dealloc(desc.sb());
                                 inner.desc_pool.retire(&inner.domain, desc_ptr);
@@ -502,6 +522,7 @@ impl<S: PageSource> LfMalloc<S> {
         released += unsafe { inner.desc_pool.trim(&inner.domain, &inner.source) };
         crate::stat_global!(inner, trims);
         crate::stat_event!(inner, Trim, 0, released);
+        crate::stat_lat!(inner, lat_trim, t0);
         released
     }
 
@@ -510,8 +531,11 @@ impl<S: PageSource> LfMalloc<S> {
     /// # Safety
     ///
     /// Standard malloc contract; see [`RawMalloc::malloc`].
+    #[cfg_attr(feature = "profile", track_caller)]
     pub unsafe fn allocate(&self, size: usize, align: usize) -> *mut u8 {
         debug_assert!(align.is_power_of_two());
+        #[cfg(feature = "profile")]
+        let site = core::panic::Location::caller();
         let inner = self.inner();
         let Some(_reentry) = crate::fork::enter_alloc() else {
             // Signal handler re-entered the allocator on this thread:
@@ -529,10 +553,15 @@ impl<S: PageSource> LfMalloc<S> {
         } else {
             class_index_aligned(total, align)
         };
-        match class {
+        let p = match class {
             Some(ci) => unsafe { crate::alloc::malloc_small(inner, ci, off) },
             None => unsafe { crate::large::alloc_large(inner, size, align) },
+        };
+        #[cfg(feature = "profile")]
+        if !p.is_null() {
+            crate::profile::tick(inner, p, size, site);
         }
+        p
     }
 
     /// Allocates `size` zeroed bytes.
@@ -549,7 +578,10 @@ impl<S: PageSource> LfMalloc<S> {
     /// # Safety
     ///
     /// Standard malloc contract; see [`RawMalloc::malloc_zeroed`].
+    #[cfg_attr(feature = "profile", track_caller)]
     pub unsafe fn allocate_zeroed(&self, size: usize) -> *mut u8 {
+        #[cfg(feature = "profile")]
+        let site = core::panic::Location::caller();
         let inner = self.inner();
         let Some(_reentry) = crate::fork::enter_alloc() else {
             crate::fork::reject_reentrant(inner, 0);
@@ -560,7 +592,7 @@ impl<S: PageSource> LfMalloc<S> {
         let Some(total) = size.checked_add(off) else {
             return core::ptr::null_mut();
         };
-        match class_index(total) {
+        let p = match class_index(total) {
             Some(ci) => {
                 let p = unsafe { crate::alloc::malloc_small(inner, ci, off) };
                 if !p.is_null() {
@@ -575,7 +607,12 @@ impl<S: PageSource> LfMalloc<S> {
                 }
                 p
             }
+        };
+        #[cfg(feature = "profile")]
+        if !p.is_null() {
+            crate::profile::tick(inner, p, size, site);
         }
+        p
     }
 
     /// Crash-tolerance test hook: reserves a block from the calling
@@ -632,6 +669,11 @@ impl<S: PageSource> LfMalloc<S> {
             return;
         };
         crate::fork::maybe_recover(inner);
+        // Unwind any live sample before the block is dispatched; works
+        // on every free path (hardened, large, TLS teardown) because
+        // removal needs no thread identity.
+        #[cfg(feature = "profile")]
+        crate::profile::untick(inner, ptr);
         if inner.config.hardening != Hardening::Off {
             // The validated path establishes provenance before touching
             // any memory; misuse is reported, never executed.
@@ -657,6 +699,9 @@ impl<S: PageSource> LfMalloc<S> {
 }
 
 unsafe impl<S: PageSource + Send + Sync> RawMalloc for LfMalloc<S> {
+    // Under `profile`, caller locations flow through these shims into
+    // `allocate` so samples attribute to the application call site.
+    #[cfg_attr(feature = "profile", track_caller)]
     unsafe fn malloc(&self, size: usize) -> *mut u8 {
         unsafe { self.allocate(size, PREFIX_SIZE) }
     }
@@ -669,10 +714,12 @@ unsafe impl<S: PageSource + Send + Sync> RawMalloc for LfMalloc<S> {
         "lfmalloc"
     }
 
+    #[cfg_attr(feature = "profile", track_caller)]
     unsafe fn malloc_aligned(&self, size: usize, align: usize) -> *mut u8 {
         unsafe { self.allocate(size, align) }
     }
 
+    #[cfg_attr(feature = "profile", track_caller)]
     unsafe fn malloc_zeroed(&self, size: usize) -> *mut u8 {
         unsafe { self.allocate_zeroed(size) }
     }
@@ -698,6 +745,10 @@ impl<S: PageSource> Drop for LfMalloc<S> {
         //     state is torn down: a maintenance pass must never race
         //     teardown.
         crate::maintain::stop_reaper_inner(self.inner());
+        // 0c. Stop and join the metrics scrape thread under the same
+        //     rule: it borrows the instance and must die first.
+        #[cfg(feature = "stats")]
+        crate::metrics::stop_metrics_inner(self.inner());
         unsafe {
             let inner = self.inner.as_ptr();
             // 1. Drain the hazard domain: retired descriptors return to
@@ -717,6 +768,8 @@ impl<S: PageSource> Drop for LfMalloc<S> {
             core::ptr::drop_in_place(core::ptr::addr_of_mut!((*inner).reaper));
             #[cfg(feature = "stats")]
             core::ptr::drop_in_place(core::ptr::addr_of_mut!((*inner).stats));
+            #[cfg(feature = "profile")]
+            core::ptr::drop_in_place(core::ptr::addr_of_mut!((*inner).profile));
             // Quarantine entries are plain addresses into memory already
             // released above; dropping the rings only frees their
             // buffers.

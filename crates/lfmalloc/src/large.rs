@@ -58,6 +58,7 @@ pub(crate) unsafe fn alloc_large<S: PageSource>(
     size: usize,
     align: usize,
 ) -> *mut u8 {
+    let t0 = crate::lat_start!();
     // User data starts at least 16 bytes in: 8 for the header word at
     // base, 8 for the prefix at user-8.
     let user_off = align_up(2 * PREFIX_SIZE, align.max(PREFIX_SIZE));
@@ -126,6 +127,7 @@ pub(crate) unsafe fn alloc_large<S: PageSource>(
         inner.large_live.fetch_add(1, Ordering::Relaxed);
         inner.large_bytes.fetch_add(total, Ordering::Relaxed);
         crate::stat_global!(inner, large_alloc);
+        crate::stat_lat!(inner, lat_malloc_large, t0);
         user
     }
 }
@@ -156,6 +158,7 @@ pub(crate) unsafe fn free_large<S: PageSource>(inner: &Inner<S>, ptr: *mut u8, p
 /// Returns a large block's pages to the source and settles the
 /// accounting, given its validated base address.
 pub(crate) unsafe fn release_large<S: PageSource>(inner: &Inner<S>, base: usize) {
+    let t0 = crate::lat_start!();
     let header = unsafe { (*(base as *const AtomicUsize)).load(Ordering::Relaxed) };
     let (total, _, _) = header_fields(header);
     let os_align = 1usize << (header & ALIGN_EXP_BITS);
@@ -163,6 +166,7 @@ pub(crate) unsafe fn release_large<S: PageSource>(inner: &Inner<S>, base: usize)
     inner.large_live.fetch_sub(1, Ordering::Relaxed);
     inner.large_bytes.fetch_sub(total, Ordering::Relaxed);
     crate::stat_global!(inner, large_free);
+    crate::stat_lat!(inner, lat_free_large, t0);
 }
 
 #[cfg(test)]

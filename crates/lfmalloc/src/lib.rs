@@ -102,7 +102,36 @@ macro_rules! stat_event {
 macro_rules! stat_event {
     ($inner:expr, $kind:ident, $class:expr, $arg:expr) => {};
 }
-pub(crate) use {stat, stat_event, stat_global, stat_hist};
+// Latency timing pair: `lat_start!()` captures a monotonic timestamp at
+// the top of an operation and `stat_lat!` records the elapsed
+// nanoseconds into one of the instance's `LatencyHist`s. Without
+// `stats` both vanish (the timestamp is a constant the optimizer
+// deletes), keeping clock reads off the default-build fast path.
+#[cfg(feature = "stats")]
+macro_rules! lat_start {
+    () => {
+        malloc_api::telemetry::monotonic_nanos()
+    };
+}
+#[cfg(not(feature = "stats"))]
+macro_rules! lat_start {
+    () => {
+        0u64
+    };
+}
+#[cfg(feature = "stats")]
+macro_rules! stat_lat {
+    ($inner:expr, $field:ident, $t0:expr) => {
+        $inner.stats.$field.record_since($t0)
+    };
+}
+#[cfg(not(feature = "stats"))]
+macro_rules! stat_lat {
+    ($inner:expr, $field:ident, $t0:expr) => {{
+        let _ = $t0;
+    }};
+}
+pub(crate) use {lat_start, stat, stat_event, stat_global, stat_hist, stat_lat};
 
 pub mod active;
 pub mod alloc;
@@ -119,7 +148,11 @@ pub mod heap;
 pub mod instance;
 pub mod large;
 pub mod maintain;
+#[cfg(feature = "stats")]
+pub mod metrics;
 pub mod partial;
+#[cfg(feature = "profile")]
+pub mod profile;
 pub(crate) mod retry;
 pub mod size_classes;
 #[cfg(feature = "stats")]
@@ -133,7 +166,13 @@ pub use health::{
     process_liveness_counters, HealthSnapshot, LivenessConfig, LivenessPolicy, WatchSite,
     DEFAULT_RETRY_CEILING, NUM_WATCH_SITES,
 };
+pub use config::ProfileParams;
 pub use instance::{LfMalloc, OutOfMemory};
 pub use maintain::{MaintenanceBudget, MaintenanceReport, ReaperConfig};
+#[cfg(feature = "profile")]
+pub use profile::{CallSite, LiveSample, ProfileSnapshot, SiteReport};
 #[cfg(feature = "stats")]
-pub use stats::{ClassStats, Event, EventKind, EventRing, StatsSnapshot};
+pub use stats::{
+    ClassStats, Event, EventKind, EventRing, FragSample, FragmentationStats, LatencyStats,
+    StatsSnapshot,
+};

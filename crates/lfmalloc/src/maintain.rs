@@ -304,6 +304,7 @@ impl<S: PageSource> LfMalloc<S> {
         from_reaper: bool,
     ) -> MaintenanceReport {
         let inner = self.inner();
+        let t0 = crate::lat_start!();
         let mut report = MaintenanceReport::default();
         if budget.reap_hazard {
             inner.health.observe_retired(inner.domain.retired_count() as u64);
@@ -348,6 +349,11 @@ impl<S: PageSource> LfMalloc<S> {
             0,
             report.reaped_retired + report.quarantine_flushed + report.empty_pruned
         );
+        crate::stat_lat!(inner, lat_maintain, t0);
+        // Every pass contributes one point to the fragmentation time
+        // series (allocation-free; the ring evicts its oldest when full).
+        #[cfg(feature = "stats")]
+        crate::stats::record_frag_sample(inner);
         report
     }
 

@@ -22,13 +22,17 @@
 //! pre-allocated, never blocking. When full it overwrites the oldest
 //! event (pop once, retry) and counts what it had to drop.
 
+use crate::config::SB_SIZE;
 use crate::heap::ProcHeap;
 use crate::instance::{Inner, LfMalloc};
 use crate::size_classes::{CLASS_SIZES, NUM_CLASSES};
 use hazard::HazardStats;
 use lockfree_structs::stats::StructsCasStats;
 use lockfree_structs::BoundedQueue;
-use malloc_api::telemetry::{bucket_label, Counter, Histogram, RETRY_BUCKETS};
+use malloc_api::telemetry::{
+    bucket_label, monotonic_nanos, Counter, Histogram, LatencyHist, LatencySnapshot,
+    RETRY_BUCKETS,
+};
 use malloc_api::AllocStats;
 use osmem::PageSource;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -37,6 +41,11 @@ use std::io::Write;
 /// Capacity of the slow-path event ring (power of two; see
 /// [`BoundedQueue::new`]).
 pub const EVENT_RING_CAP: usize = 1024;
+
+/// Capacity of the fragmentation time-series ring: one
+/// [`FragSample`] per maintenance pass, oldest evicted first. At the
+/// default 250 ms reaper period this holds the last ~64 s of history.
+pub const FRAG_SERIES_CAP: usize = 256;
 
 /// Live counters of one `(size class, heap)` pair. Padded to its own
 /// cache lines so neighbouring shards never false-share — the same
@@ -130,13 +139,11 @@ pub struct Event {
     pub arg: u64,
 }
 
-/// Monotonic nanoseconds since the process's first call (allocation-free
-/// after the first use).
+/// Monotonic nanoseconds since the process's telemetry epoch — the same
+/// clock as the latency histograms and sample ages, so every timestamp
+/// in a report is directly comparable.
 fn now_nanos() -> u64 {
-    use std::sync::OnceLock;
-    use std::time::Instant;
-    static START: OnceLock<Instant> = OnceLock::new();
-    START.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    monotonic_nanos()
 }
 
 /// Fixed-capacity, lock-free ring of slow-path [`Event`]s.
@@ -188,6 +195,76 @@ impl EventRing {
     }
 }
 
+/// One point of the fragmentation time series, recorded at the end of
+/// every maintenance pass (see [`crate::maintain`]). Byte figures are
+/// the same estimators as [`FragmentationStats`], computed without
+/// allocating so the recording path is reaper-safe.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FragSample {
+    /// [`monotonic_nanos`] at the pass.
+    pub nanos: u64,
+    /// Estimated bytes in live (non-EMPTY) superblocks.
+    pub small_committed_bytes: u64,
+    /// Estimated bytes in live small blocks (block size × outstanding).
+    pub small_live_bytes: u64,
+    /// OS bytes backing live large blocks.
+    pub large_live_bytes: u64,
+    /// Total OS bytes mapped by the instance.
+    pub os_live_bytes: u64,
+    /// External fragmentation of the small heap in permille:
+    /// `1000 * (1 - live/committed)`.
+    pub external_frag_permille: u32,
+}
+
+impl FragSample {
+    /// Hand-rolled JSON object (one time-series point).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"nanos\":{},\"small_committed_bytes\":{},\"small_live_bytes\":{},\
+             \"large_live_bytes\":{},\"os_live_bytes\":{},\"external_frag_permille\":{}}}",
+            self.nanos,
+            self.small_committed_bytes,
+            self.small_live_bytes,
+            self.large_live_bytes,
+            self.os_live_bytes,
+            self.external_frag_permille
+        )
+    }
+}
+
+/// Bounded, lock-free ring of [`FragSample`]s — the same evict-oldest
+/// discipline as [`EventRing`], sized for minutes of history.
+#[derive(Debug)]
+pub struct FragSeries {
+    ring: Option<BoundedQueue<FragSample>>,
+}
+
+impl FragSeries {
+    pub(crate) fn new(cap: usize) -> Self {
+        FragSeries { ring: BoundedQueue::new(cap) }
+    }
+
+    /// Records a sample, evicting the oldest when full.
+    pub(crate) fn record(&self, s: FragSample) {
+        let Some(ring) = &self.ring else { return };
+        let mut s = s;
+        for _ in 0..2 {
+            match ring.push(s) {
+                Ok(()) => return,
+                Err(back) => {
+                    s = back;
+                    let _ = ring.pop();
+                }
+            }
+        }
+    }
+
+    /// Pops the oldest sample.
+    pub fn pop(&self) -> Option<FragSample> {
+        self.ring.as_ref()?.pop()
+    }
+}
+
 /// All live telemetry of one allocator instance: the shard array plus
 /// instance-global counters and the event ring.
 #[derive(Debug)]
@@ -205,6 +282,23 @@ pub(crate) struct InstanceStats {
     pub trims: Counter,
     /// Slow-path trace ring.
     pub events: EventRing,
+    /// Per-op latency, split by operation and serving path. Instance-
+    /// global (not sharded): recording is two relaxed `fetch_add`s on
+    /// lines that the slow paths already own, and the fast-path hists
+    /// are only touched once per op.
+    pub lat_malloc_fast: LatencyHist,
+    pub lat_malloc_slow: LatencyHist,
+    pub lat_malloc_large: LatencyHist,
+    pub lat_free_fast: LatencyHist,
+    pub lat_free_slow: LatencyHist,
+    pub lat_free_large: LatencyHist,
+    /// Maintenance-pass and trim-pass durations.
+    pub lat_maintain: LatencyHist,
+    pub lat_trim: LatencyHist,
+    /// Fragmentation time series, fed by the maintenance pass.
+    pub frag_series: FragSeries,
+    /// Scrape-endpoint control plane (see [`crate::metrics`]).
+    pub(crate) metrics: crate::metrics::MetricsState,
 }
 
 unsafe impl Send for InstanceStats {}
@@ -228,6 +322,16 @@ impl InstanceStats {
             oom_backoffs: Counter::new(),
             trims: Counter::new(),
             events: EventRing::new(EVENT_RING_CAP),
+            lat_malloc_fast: LatencyHist::new(),
+            lat_malloc_slow: LatencyHist::new(),
+            lat_malloc_large: LatencyHist::new(),
+            lat_free_fast: LatencyHist::new(),
+            lat_free_slow: LatencyHist::new(),
+            lat_free_large: LatencyHist::new(),
+            lat_maintain: LatencyHist::new(),
+            lat_trim: LatencyHist::new(),
+            frag_series: FragSeries::new(FRAG_SERIES_CAP),
+            metrics: crate::metrics::MetricsState::new(),
         })
     }
 
@@ -369,6 +473,219 @@ fn json_array(v: &[u64]) -> String {
     format!("[{}]", items.join(","))
 }
 
+/// Per-op latency distributions of the snapshot, one
+/// [`LatencySnapshot`] per (operation, serving path) pair.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyStats {
+    /// Mallocs served by the Active fast path.
+    pub malloc_fast: LatencySnapshot,
+    /// Mallocs served by a partial or fresh superblock.
+    pub malloc_slow: LatencySnapshot,
+    /// Large (direct-mmap) allocations.
+    pub malloc_large: LatencySnapshot,
+    /// Frees that were a plain free-list push.
+    pub free_fast: LatencySnapshot,
+    /// Frees that emptied a superblock or relinked FULL→PARTIAL.
+    pub free_slow: LatencySnapshot,
+    /// Large-block releases.
+    pub free_large: LatencySnapshot,
+    /// Maintenance-pass durations.
+    pub maintain: LatencySnapshot,
+    /// Trim-pass durations.
+    pub trim: LatencySnapshot,
+}
+
+impl LatencyStats {
+    /// All malloc paths combined.
+    pub fn malloc_all(&self) -> LatencySnapshot {
+        let mut m = self.malloc_fast;
+        m.merge(&self.malloc_slow);
+        m.merge(&self.malloc_large);
+        m
+    }
+
+    /// All free paths combined.
+    pub fn free_all(&self) -> LatencySnapshot {
+        let mut m = self.free_fast;
+        m.merge(&self.free_slow);
+        m.merge(&self.free_large);
+        m
+    }
+
+    fn paths(&self) -> [(&'static str, &LatencySnapshot); 8] {
+        [
+            ("malloc_fast", &self.malloc_fast),
+            ("malloc_slow", &self.malloc_slow),
+            ("malloc_large", &self.malloc_large),
+            ("free_fast", &self.free_fast),
+            ("free_slow", &self.free_slow),
+            ("free_large", &self.free_large),
+            ("maintain", &self.maintain),
+            ("trim", &self.trim),
+        ]
+    }
+
+    fn to_json(&self) -> String {
+        let parts: Vec<String> = self
+            .paths()
+            .iter()
+            .map(|(name, s)| {
+                format!(
+                    "\"{}\":{{\"count\":{},\"sum_nanos\":{},\"p50\":{},\"p90\":{},\
+                     \"p99\":{},\"p999\":{},\"buckets\":{}}}",
+                    name,
+                    s.count(),
+                    s.sum_nanos,
+                    s.percentile(0.50),
+                    s.percentile(0.90),
+                    s.percentile(0.99),
+                    s.percentile(0.999),
+                    json_array(&s.buckets)
+                )
+            })
+            .collect();
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Committed-vs-live accounting of one size class — the external-
+/// fragmentation estimator.
+///
+/// `committed_bytes` counts superblocks the class has acquired and not
+/// yet retired (`malloc_newsb − free_empty`, × 16 KiB); `live_bytes`
+/// counts outstanding blocks (`mallocs − frees`, × block size). Both
+/// are derived from monotone counters, so a snapshot racing in-flight
+/// operations can be off by the in-flight handful (clamped at zero).
+/// Superblocks cached idle in an Active slot count as committed — that
+/// is precisely the retention the metric is meant to expose.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FragClass {
+    /// Size-class index.
+    pub class: usize,
+    /// Total block size, prefix included.
+    pub block_size: u32,
+    /// Estimated bytes in the class's live superblocks.
+    pub committed_bytes: u64,
+    /// Estimated bytes in the class's outstanding blocks.
+    pub live_bytes: u64,
+}
+
+impl FragClass {
+    /// External fragmentation in permille: `1000 * (1 − live/committed)`
+    /// (0 when nothing is committed).
+    pub fn frag_permille(&self) -> u32 {
+        frag_permille(self.live_bytes, self.committed_bytes)
+    }
+}
+
+fn frag_permille(live: u64, committed: u64) -> u32 {
+    if committed == 0 {
+        0
+    } else {
+        1000u64.saturating_sub(live.saturating_mul(1000) / committed).min(1000) as u32
+    }
+}
+
+/// Fragmentation observability of the snapshot: per-class external
+/// fragmentation plus instance totals and the drained time series.
+#[derive(Clone, Debug, Default)]
+pub struct FragmentationStats {
+    /// Classes with committed superblocks (others carry no signal).
+    pub classes: Vec<FragClass>,
+    /// Sum of `committed_bytes` over all classes.
+    pub small_committed_bytes: u64,
+    /// Sum of `live_bytes` over all classes.
+    pub small_live_bytes: u64,
+    /// OS bytes backing live large blocks (large blocks are exactly
+    /// sized, so their only waste is page rounding — tracked by the
+    /// sampled internal-fragmentation estimate under `profile`).
+    pub large_live_bytes: u64,
+}
+
+impl FragmentationStats {
+    fn compute(classes: &[ClassStats], large_live_bytes: u64) -> Self {
+        let mut out = FragmentationStats { large_live_bytes, ..Default::default() };
+        for c in classes {
+            let committed =
+                c.malloc_newsb.saturating_sub(c.free_empty) * SB_SIZE as u64;
+            let live = c.mallocs().saturating_sub(c.frees()) * c.block_size as u64;
+            // Clamp to committed: racing counters (or blocks freed into
+            // a just-retired superblock) can momentarily overshoot.
+            let live = live.min(committed);
+            if committed == 0 {
+                continue;
+            }
+            out.small_committed_bytes += committed;
+            out.small_live_bytes += live;
+            out.classes.push(FragClass {
+                class: c.class,
+                block_size: c.block_size,
+                committed_bytes: committed,
+                live_bytes: live,
+            });
+        }
+        out
+    }
+
+    /// Instance-wide external fragmentation of the small heap, permille.
+    pub fn external_frag_permille(&self) -> u32 {
+        frag_permille(self.small_live_bytes, self.small_committed_bytes)
+    }
+
+    fn to_json(&self) -> String {
+        let classes: Vec<String> = self
+            .classes
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"class\":{},\"size\":{},\"committed_bytes\":{},\
+                     \"live_bytes\":{},\"frag_permille\":{}}}",
+                    c.class, c.block_size, c.committed_bytes, c.live_bytes, c.frag_permille()
+                )
+            })
+            .collect();
+        format!(
+            "{{\"small_committed_bytes\":{},\"small_live_bytes\":{},\
+             \"large_live_bytes\":{},\"external_frag_permille\":{},\"classes\":[{}]}}",
+            self.small_committed_bytes,
+            self.small_live_bytes,
+            self.large_live_bytes,
+            self.external_frag_permille(),
+            classes.join(",")
+        )
+    }
+}
+
+/// Records one fragmentation time-series point (called at the end of
+/// every maintenance pass). Allocation-free: sums the shard counters
+/// into scalars and pushes into the bounded ring.
+pub(crate) fn record_frag_sample<S: PageSource>(inner: &Inner<S>) {
+    let mut committed = 0u64;
+    let mut live = 0u64;
+    for ci in 0..NUM_CLASSES {
+        let (mut newsb, mut empt, mut mallocs, mut frees) = (0u64, 0u64, 0u64, 0u64);
+        for h in 0..inner.nheaps {
+            let s = inner.stats.shard(ci * inner.nheaps + h);
+            newsb += s.malloc_newsb.get();
+            empt += s.free_empty.get();
+            mallocs += s.malloc_fast.get() + s.malloc_slow.get() + s.malloc_newsb.get();
+            frees += s.free_local.get() + s.free_remote.get();
+        }
+        let c = newsb.saturating_sub(empt) * SB_SIZE as u64;
+        committed += c;
+        live += (mallocs.saturating_sub(frees) * CLASS_SIZES[ci] as u64).min(c);
+    }
+    let large = inner.large_bytes.load(core::sync::atomic::Ordering::Relaxed) as u64;
+    inner.stats.frag_series.record(FragSample {
+        nanos: now_nanos(),
+        small_committed_bytes: committed,
+        small_live_bytes: live,
+        large_live_bytes: large,
+        os_live_bytes: inner.source.stats().live_bytes as u64,
+        external_frag_permille: frag_permille(live, committed),
+    });
+}
+
 /// A consistent-enough aggregate of every counter in the instance.
 ///
 /// Each counter is read once with `Relaxed` ordering; counters advanced
@@ -410,6 +727,14 @@ pub struct StatsSnapshot {
     /// [`LfMalloc::health`](crate::LfMalloc::health), taken in the same
     /// snapshot).
     pub health: crate::health::HealthSnapshot,
+    /// Per-op latency distributions (see [`LatencyStats`]).
+    pub latency: LatencyStats,
+    /// External-fragmentation accounting (see [`FragmentationStats`]).
+    pub fragmentation: FragmentationStats,
+    /// Sampled allocation-site profile, taken in the same snapshot
+    /// (only under the `profile` feature, which implies `stats`).
+    #[cfg(feature = "profile")]
+    pub profile: crate::profile::ProfileSnapshot,
 }
 
 impl StatsSnapshot {
@@ -445,7 +770,7 @@ impl StatsSnapshot {
              \"carves\":{{\"superblock\":{},\"descriptor\":{}}},\
              \"reconcile\":{{\"superblock_bytes\":{},\"descriptor_slab_bytes\":{},\
              \"large_bytes\":{},\"source_live_bytes\":{},\"ok\":{}}},\
-             \"health\":{}}}",
+             \"health\":{},\"latency\":{},\"fragmentation\":{}{}}}",
             self.totals.to_json(),
             classes.join(","),
             self.large_alloc,
@@ -474,6 +799,18 @@ impl StatsSnapshot {
             r.source_live_bytes,
             r.reconciles(),
             self.health.to_json(),
+            self.latency.to_json(),
+            self.fragmentation.to_json(),
+            {
+                #[cfg(feature = "profile")]
+                {
+                    format!(",\"profile\":{}", self.profile.to_json())
+                }
+                #[cfg(not(feature = "profile"))]
+                {
+                    String::new()
+                }
+            },
         )
     }
 }
@@ -500,6 +837,20 @@ impl<S: PageSource> LfMalloc<S> {
         for c in &classes {
             totals.add(c);
         }
+        let latency = LatencyStats {
+            malloc_fast: inner.stats.lat_malloc_fast.snapshot(),
+            malloc_slow: inner.stats.lat_malloc_slow.snapshot(),
+            malloc_large: inner.stats.lat_malloc_large.snapshot(),
+            free_fast: inner.stats.lat_free_fast.snapshot(),
+            free_slow: inner.stats.lat_free_slow.snapshot(),
+            free_large: inner.stats.lat_free_large.snapshot(),
+            maintain: inner.stats.lat_maintain.snapshot(),
+            trim: inner.stats.lat_trim.snapshot(),
+        };
+        let fragmentation = FragmentationStats::compute(
+            &classes,
+            inner.large_bytes.load(core::sync::atomic::Ordering::Relaxed) as u64,
+        );
         StatsSnapshot {
             classes,
             totals,
@@ -516,6 +867,10 @@ impl<S: PageSource> LfMalloc<S> {
             desc_carves: inner.desc_pool.carve_count(),
             reconciliation: inner.reconcile_bytes(),
             health: self.health(),
+            latency,
+            fragmentation,
+            #[cfg(feature = "profile")]
+            profile: self.profile(),
         }
     }
 
@@ -524,6 +879,16 @@ impl<S: PageSource> LfMalloc<S> {
         let mut out = Vec::new();
         while let Some(ev) = self.inner().stats.events.pop() {
             out.push(ev);
+        }
+        out
+    }
+
+    /// Drains and returns the fragmentation time series, oldest first
+    /// (one point per maintenance pass; see [`FragSample`]).
+    pub fn take_frag_series(&self) -> Vec<FragSample> {
+        let mut out = Vec::new();
+        while let Some(s) = self.inner().stats.frag_series.pop() {
+            out.push(s);
         }
         out
     }
@@ -563,6 +928,76 @@ impl<S: PageSource> LfMalloc<S> {
             s.large_alloc, s.large_free, s.large_live
         )?;
         writeln!(w, "oom backoff attempts: {}   trims: {}", s.oom_backoffs, s.trims)?;
+        writeln!(w, "latency (ns, power-of-two bucket upper bounds):")?;
+        writeln!(
+            w,
+            "  {:<13} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "path", "count", "p50", "p90", "p99", "p99.9", "mean"
+        )?;
+        for (name, l) in s.latency.paths() {
+            if l.count() == 0 {
+                continue;
+            }
+            writeln!(
+                w,
+                "  {:<13} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                name,
+                l.count(),
+                l.percentile(0.50),
+                l.percentile(0.90),
+                l.percentile(0.99),
+                l.percentile(0.999),
+                l.mean_nanos()
+            )?;
+        }
+        let f = &s.fragmentation;
+        writeln!(
+            w,
+            "fragmentation: external {}‰ ({} live / {} committed small bytes, {} large)",
+            f.external_frag_permille(),
+            f.small_live_bytes,
+            f.small_committed_bytes,
+            f.large_live_bytes
+        )?;
+        for c in &f.classes {
+            writeln!(
+                w,
+                "  class {:>3} ({:>7} B): {:>12} live / {:>12} committed  {:>4}‰",
+                c.class,
+                c.block_size,
+                c.live_bytes,
+                c.committed_bytes,
+                c.frag_permille()
+            )?;
+        }
+        #[cfg(feature = "profile")]
+        {
+            let p = &s.profile;
+            writeln!(
+                w,
+                "profile: {} live samples (~{} bytes), {} taken / {} freed / {} dropped, \
+                 internal frag {}‰ (stride {} B)",
+                p.live.len(),
+                p.live_bytes_estimate(),
+                p.samples_taken,
+                p.sampled_frees,
+                p.samples_dropped,
+                p.internal_frag_permille(),
+                p.stride_bytes
+            )?;
+            for r in s.profile.sites().iter().take(10) {
+                writeln!(
+                    w,
+                    "  {:>12} bytes ({:>4} samples, {} threads, class {}, oldest {} ms) {}",
+                    r.live_bytes,
+                    r.live_samples,
+                    r.threads,
+                    crate::profile::class_label(r.top_class),
+                    r.oldest_age_nanos / 1_000_000,
+                    r.site
+                )?;
+            }
+        }
         writeln!(w, "cas retries per operation:")?;
         write_histogram(w, "  active (reserve)", &t.active_cas)?;
         write_histogram(w, "  anchor (pop/free)", &t.anchor_cas)?;

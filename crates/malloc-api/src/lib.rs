@@ -85,6 +85,12 @@ pub unsafe trait RawMalloc: Sync {
     /// The returned memory is uninitialized; the caller must not read it
     /// before writing, and must eventually pass it to [`RawMalloc::free`]
     /// exactly once.
+    ///
+    /// Under the `stats` feature the declaration is `#[track_caller]`
+    /// so heap profilers can attribute allocations to the original call
+    /// site through the blanket `&A`/`Arc<A>` forwarders (a trait-level
+    /// attribute applies to every implementation).
+    #[cfg_attr(feature = "stats", track_caller)]
     unsafe fn malloc(&self, size: usize) -> *mut u8;
 
     /// Returns a block obtained from [`RawMalloc::malloc`].
@@ -111,6 +117,7 @@ pub unsafe trait RawMalloc: Sync {
     ///
     /// Same contract as [`RawMalloc::malloc`]; additionally `align` must
     /// be a power of two.
+    #[cfg_attr(feature = "stats", track_caller)]
     unsafe fn malloc_aligned(&self, size: usize, align: usize) -> *mut u8 {
         debug_assert!(align.is_power_of_two());
         if align <= MIN_MALLOC_ALIGN {
@@ -125,6 +132,7 @@ pub unsafe trait RawMalloc: Sync {
     /// # Safety
     ///
     /// Same contract as [`RawMalloc::malloc`].
+    #[cfg_attr(feature = "stats", track_caller)]
     unsafe fn malloc_zeroed(&self, size: usize) -> *mut u8 {
         let p = self.malloc(size);
         if !p.is_null() {
@@ -149,6 +157,7 @@ pub unsafe trait RawMalloc: Sync {
     /// # Safety
     ///
     /// Same contract as [`RawMalloc::malloc`].
+    #[cfg_attr(feature = "stats", track_caller)]
     unsafe fn calloc(&self, count: usize, size: usize) -> *mut u8 {
         let Some(total) = count.checked_mul(size) else {
             return core::ptr::null_mut();
@@ -182,6 +191,7 @@ pub unsafe trait RawMalloc: Sync {
     ///
     /// `ptr` null or live; `old_size_hint` no larger than the block's
     /// original requested size.
+    #[cfg_attr(feature = "stats", track_caller)]
     unsafe fn realloc(&self, ptr: *mut u8, old_size_hint: usize, new_size: usize) -> *mut u8 {
         if ptr.is_null() {
             return unsafe { self.malloc(new_size) };

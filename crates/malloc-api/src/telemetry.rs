@@ -126,6 +126,140 @@ impl<const N: usize> Histogram<N> {
     }
 }
 
+/// Buckets of the per-operation latency histograms. Bucket `i` covers
+/// `[2^(i-1), 2^i)` nanoseconds (bucket 0 is "0 ns", i.e. below clock
+/// resolution); 32 buckets reach `2^31` ns ≈ 2.1 s before saturating,
+/// which comfortably brackets everything from a TLS-hit malloc (~20 ns)
+/// to a full trim pass under OOM backoff.
+pub const TIME_BUCKETS: usize = 32;
+
+/// Process-relative monotonic nanoseconds.
+///
+/// All timestamps in the telemetry and profiling layers come from this
+/// one clock so latencies, event times and sample ages are directly
+/// comparable. Backed by `Instant` (CLOCK_MONOTONIC on Linux) against a
+/// lazily pinned epoch; the epoch is pinned once per process, so
+/// readings are wall-clock-shift immune and strictly non-decreasing per
+/// thread.
+#[inline]
+pub fn monotonic_nanos() -> u64 {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Instant::now().duration_since(epoch).as_nanos() as u64
+}
+
+/// A latency histogram: power-of-two-nanosecond buckets plus a running
+/// sum, so snapshots can report both percentile estimates and the mean
+/// (and OpenMetrics can render `_sum`/`_count`).
+///
+/// Recording is two relaxed `fetch_add`s — no CAS, no locks — so it is
+/// safe on every allocator path including TLS teardown.
+#[derive(Debug, Default)]
+pub struct LatencyHist {
+    hist: Histogram<TIME_BUCKETS>,
+    sum: Counter,
+}
+
+impl LatencyHist {
+    /// A zeroed histogram.
+    pub const fn new() -> Self {
+        LatencyHist { hist: Histogram::new(), sum: Counter::new() }
+    }
+
+    /// Records one operation that took `nanos` nanoseconds.
+    #[inline]
+    pub fn record(&self, nanos: u64) {
+        self.hist.record(nanos);
+        self.sum.add(nanos);
+    }
+
+    /// Records the elapsed time since `start` (a [`monotonic_nanos`]
+    /// reading taken at operation entry).
+    #[inline]
+    pub fn record_since(&self, start: u64) {
+        self.record(monotonic_nanos().saturating_sub(start));
+    }
+
+    /// Consistent-enough snapshot of buckets and sum (relaxed reads; a
+    /// racing record may be visible in one but not the other, which a
+    /// monotonic report tolerates).
+    pub fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot { buckets: self.hist.snapshot(), sum_nanos: self.sum.get() }
+    }
+}
+
+/// Point-in-time copy of a [`LatencyHist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Power-of-two-ns bucket counts (see [`TIME_BUCKETS`]).
+    pub buckets: [u64; TIME_BUCKETS],
+    /// Sum of all recorded durations in nanoseconds.
+    pub sum_nanos: u64,
+}
+
+impl Default for LatencySnapshot {
+    fn default() -> Self {
+        LatencySnapshot { buckets: [0; TIME_BUCKETS], sum_nanos: 0 }
+    }
+}
+
+impl LatencySnapshot {
+    /// Total operations recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Upper bound (inclusive, in ns) of bucket `i`; the last bucket is
+    /// open-ended and reports its lower bound (a saturation marker).
+    pub fn bucket_upper_nanos(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i == TIME_BUCKETS - 1 {
+            1u64 << (i - 1)
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Estimated `q`-quantile in nanoseconds (`q` in `[0, 1]`), as the
+    /// upper bound of the first bucket at which the cumulative count
+    /// reaches `ceil(q * total)`. Conservative: the true quantile is at
+    /// most one power of two below the estimate. Returns 0 for an empty
+    /// histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper_nanos(i);
+            }
+        }
+        Self::bucket_upper_nanos(TIME_BUCKETS - 1)
+    }
+
+    /// Mean duration in nanoseconds (0 if empty).
+    pub fn mean_nanos(&self) -> u64 {
+        let n = self.count();
+        if n == 0 { 0 } else { self.sum_nanos / n }
+    }
+
+    /// Merges another snapshot into this one (for cross-histogram
+    /// aggregates like "all malloc paths combined").
+    pub fn merge(&mut self, other: &LatencySnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.sum_nanos += other.sum_nanos;
+    }
+}
+
 /// Label of bucket `i` of an `N`-bucket histogram ("0", "1", "2-3", ...,
 /// "64+") for report rendering.
 pub fn bucket_label(i: usize, n: usize) -> String {
@@ -195,6 +329,86 @@ mod tests {
         assert_eq!(bucket_label(2, 8), "2-3");
         assert_eq!(bucket_label(6, 8), "32-63");
         assert_eq!(bucket_label(7, 8), "64+");
+    }
+
+    #[test]
+    fn monotonic_nanos_is_monotonic() {
+        let a = monotonic_nanos();
+        let b = monotonic_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn latency_bucket_bounds() {
+        assert_eq!(LatencySnapshot::bucket_upper_nanos(0), 0);
+        assert_eq!(LatencySnapshot::bucket_upper_nanos(1), 1);
+        assert_eq!(LatencySnapshot::bucket_upper_nanos(2), 3);
+        assert_eq!(LatencySnapshot::bucket_upper_nanos(10), 1023);
+        // Last bucket is open-ended and labels its lower bound.
+        assert_eq!(
+            LatencySnapshot::bucket_upper_nanos(TIME_BUCKETS - 1),
+            1u64 << (TIME_BUCKETS - 2)
+        );
+    }
+
+    #[test]
+    fn latency_percentiles_from_known_distribution() {
+        let h = LatencyHist::new();
+        // 90 ops at ~100 ns (bucket 7: 64-127), 9 at ~1000 ns
+        // (bucket 10: 512-1023), 1 at ~1e6 ns (bucket 20).
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..9 {
+            h.record(1000);
+        }
+        h.record(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.sum_nanos, 90 * 100 + 9 * 1000 + 1_000_000);
+        assert_eq!(s.percentile(0.50), 127);
+        assert_eq!(s.percentile(0.90), 127);
+        assert_eq!(s.percentile(0.99), 1023);
+        assert_eq!(s.percentile(0.999), (1u64 << 20) - 1);
+        assert_eq!(s.mean_nanos(), s.sum_nanos / 100);
+    }
+
+    #[test]
+    fn latency_percentile_edge_cases() {
+        let empty = LatencySnapshot::default();
+        assert_eq!(empty.percentile(0.99), 0);
+        assert_eq!(empty.mean_nanos(), 0);
+
+        let h = LatencyHist::new();
+        h.record(7);
+        let s = h.snapshot();
+        // A single sample is every percentile.
+        assert_eq!(s.percentile(0.0), 7);
+        assert_eq!(s.percentile(0.5), 7);
+        assert_eq!(s.percentile(1.0), 7);
+    }
+
+    #[test]
+    fn latency_merge_accumulates() {
+        let a = LatencyHist::new();
+        let b = LatencyHist::new();
+        a.record(10);
+        b.record(10_000);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.sum_nanos, 10_010);
+    }
+
+    #[test]
+    fn record_since_measures_forward_time() {
+        let h = LatencyHist::new();
+        let t0 = monotonic_nanos();
+        h.record_since(t0);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        // Can't assert much about magnitude, but it must not wrap.
+        assert!(s.sum_nanos < 1_000_000_000, "sub-second elapsed expected");
     }
 
     #[test]

@@ -1,0 +1,564 @@
+//! `lfstat` — offline viewer for `--stats-json` records and the live
+//! profiler.
+//!
+//! ```text
+//! cargo run --release --features stats,profile --example lfstat            # demo
+//! cargo run --release --features stats --example lfstat -- print FILE     # pretty-print
+//! cargo run --release --features stats --example lfstat -- diff A B       # compare runs
+//! cargo run --release --features stats,profile --example lfstat -- top 5 FILE
+//! ```
+//!
+//! `print` renders one stats-JSON record (the last line of
+//! `stats_demo`, a bench `--stats-json` record, or `stats().to_json()`)
+//! as the operator-facing summary: op counts, latency percentiles per
+//! path, fragmentation, health. `diff` subtracts record A from record B
+//! counter-by-counter — take a snapshot before and after a workload
+//! phase and diff them to see only that phase. `top N` ranks the
+//! embedded retention profile's allocation sites by estimated live
+//! bytes. `FILE` of `-` reads stdin; records may be surrounded by other
+//! output lines (the last JSON object line wins).
+//!
+//! The JSON reader below is deliberately minimal and dependency-free —
+//! enough for the allocator's own records, not a general parser.
+
+use lfmalloc_repro::prelude::*;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Minimal JSON model
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Walks `a.b.c` through nested objects.
+    fn get(&self, path: &str) -> Option<&Json> {
+        let mut cur = self;
+        for key in path.split('.') {
+            let Json::Obj(fields) = cur else { return None };
+            cur = &fields.iter().find(|(k, _)| k == key)?.1;
+        }
+        Some(cur)
+    }
+
+    fn num(&self, path: &str) -> f64 {
+        match self.get(path) {
+            Some(Json::Num(n)) => *n,
+            _ => 0.0,
+        }
+    }
+
+    fn u64(&self, path: &str) -> u64 {
+        self.num(path) as u64
+    }
+
+    fn str(&self, path: &str) -> &str {
+        match self.get(path) {
+            Some(Json::Str(s)) => s,
+            _ => "",
+        }
+    }
+
+    fn arr(&self, path: &str) -> &[Json] {
+        match self.get(path) {
+            Some(Json::Arr(v)) => v,
+            _ => &[],
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { b: s.as_bytes(), i: 0 }
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or("unexpected end of input")? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.lit("true", Json::Bool(true)),
+            b'f' => self.lit("false", Json::Bool(false)),
+            b'n' => self.lit("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i).copied().ok_or("unterminated string")? {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.i += 1;
+                    let esc = self.b.get(self.i).copied().ok_or("bad escape")?;
+                    self.i += 1;
+                    match esc {
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.i..self.i + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            self.i += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                        }
+                        c => out.push(c as char),
+                    }
+                }
+                c => {
+                    self.i += 1;
+                    out.push(c as char);
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut v = Vec::new();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(v));
+        }
+        loop {
+            v.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(v));
+                }
+                _ => return Err(format!("bad array at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut v = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(v));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            v.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(v));
+                }
+                _ => return Err(format!("bad object at byte {}", self.i)),
+            }
+        }
+    }
+}
+
+/// Loads the last JSON-object line of `path` (`-` = stdin): stats-JSON
+/// records are emitted as the final stdout line by convention, so demo
+/// and bench output can be piped straight in.
+fn load_record(path: &str) -> Json {
+    let text = if path == "-" {
+        use std::io::Read as _;
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s).expect("read stdin");
+        s
+    } else {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("lfstat: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let line = text
+        .lines()
+        .rev()
+        .find(|l| l.trim_start().starts_with('{'))
+        .unwrap_or_else(|| {
+            eprintln!("lfstat: no JSON object line in {path}");
+            std::process::exit(2);
+        });
+    // Bench records wrap the allocator stats: unwrap a top-level
+    // "stats" field when present.
+    let v = Parser::new(line.trim()).value().unwrap_or_else(|e| {
+        eprintln!("lfstat: {path}: {e}");
+        std::process::exit(2);
+    });
+    match v.get("stats") {
+        Some(inner @ Json::Obj(_)) => inner.clone(),
+        _ => v,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------
+
+fn human_bytes(n: f64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = n;
+    let mut u = 0;
+    while v.abs() >= 1024.0 && u + 1 < UNITS.len() {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{n:.0} B")
+    } else {
+        format!("{v:.1} {}", UNITS[u])
+    }
+}
+
+fn human_nanos(n: f64) -> String {
+    if n >= 1e9 {
+        format!("{:.2} s", n / 1e9)
+    } else if n >= 1e6 {
+        format!("{:.2} ms", n / 1e6)
+    } else if n >= 1e3 {
+        format!("{:.2} us", n / 1e3)
+    } else {
+        format!("{n:.0} ns")
+    }
+}
+
+const LAT_PATHS: [&str; 8] = [
+    "malloc_fast",
+    "malloc_slow",
+    "malloc_large",
+    "free_fast",
+    "free_slow",
+    "free_large",
+    "maintain",
+    "trim",
+];
+
+fn print_record(rec: &Json) {
+    let t = rec.get("totals").cloned().unwrap_or(Json::Obj(vec![]));
+    let mallocs = t.num("malloc_fast") + t.num("malloc_slow") + t.num("malloc_newsb");
+    let frees = t.num("free_local") + t.num("free_remote");
+    println!("== operations ==");
+    println!(
+        "  small mallocs {:>14}   fast {:.1}%  partial {:.1}%  new-sb {:.1}%",
+        mallocs as u64,
+        100.0 * t.num("malloc_fast") / mallocs.max(1.0),
+        100.0 * t.num("malloc_slow") / mallocs.max(1.0),
+        100.0 * t.num("malloc_newsb") / mallocs.max(1.0),
+    );
+    println!(
+        "  small frees   {:>14}   local {:.1}%  remote {:.1}%  (teardown {})",
+        frees as u64,
+        100.0 * t.num("free_local") / frees.max(1.0),
+        100.0 * t.num("free_remote") / frees.max(1.0),
+        t.u64("free_teardown"),
+    );
+    println!(
+        "  large         {:>14} alloc / {} free ({} live)",
+        rec.u64("large.alloc"),
+        rec.u64("large.free"),
+        rec.u64("large.live"),
+    );
+    println!(
+        "  superblocks retired {}   trims {}   oom backoffs {}   events dropped {}",
+        t.u64("free_empty"),
+        rec.u64("trims"),
+        rec.u64("oom_backoffs"),
+        rec.u64("events_dropped"),
+    );
+
+    if rec.get("latency").is_some() {
+        println!("\n== latency ==");
+        println!(
+            "  {:<13} {:>12} {:>10} {:>10} {:>10} {:>10}",
+            "path", "count", "p50", "p90", "p99", "p99.9"
+        );
+        for path in LAT_PATHS {
+            let count = rec.u64(&format!("latency.{path}.count"));
+            if count == 0 {
+                continue;
+            }
+            println!(
+                "  {:<13} {:>12} {:>10} {:>10} {:>10} {:>10}",
+                path,
+                count,
+                human_nanos(rec.num(&format!("latency.{path}.p50"))),
+                human_nanos(rec.num(&format!("latency.{path}.p90"))),
+                human_nanos(rec.num(&format!("latency.{path}.p99"))),
+                human_nanos(rec.num(&format!("latency.{path}.p999"))),
+            );
+        }
+    }
+
+    if rec.get("fragmentation").is_some() {
+        println!("\n== fragmentation ==");
+        println!(
+            "  small heap: {} committed, {} live, external {}‰",
+            human_bytes(rec.num("fragmentation.small_committed_bytes")),
+            human_bytes(rec.num("fragmentation.small_live_bytes")),
+            rec.u64("fragmentation.external_frag_permille"),
+        );
+        let mut classes: Vec<&Json> = rec.arr("fragmentation.classes").iter().collect();
+        classes.sort_by(|a, b| b.u64("committed_bytes").cmp(&a.u64("committed_bytes")));
+        for c in classes.iter().take(5) {
+            println!(
+                "    class {:>3} (size {:>6}): {:>10} committed, {:>10} live, {:>4}‰",
+                c.u64("class"),
+                c.u64("size"),
+                human_bytes(c.num("committed_bytes")),
+                human_bytes(c.num("live_bytes")),
+                c.u64("frag_permille"),
+            );
+        }
+    }
+
+    println!(
+        "\n== footprint ==\n  os live {}   peak {}   reconcile ok: {}",
+        human_bytes(rec.num("os.live_bytes")),
+        human_bytes(rec.num("os.peak_bytes")),
+        matches!(rec.get("reconcile.ok"), Some(Json::Bool(true))),
+    );
+
+    if rec.get("profile").is_some() {
+        println!(
+            "\n== retention profile ==\n  stride {}   {} sampled, {} freed, {} live \
+             (≈{} live), internal frag {}‰",
+            human_bytes(rec.num("profile.stride_bytes")),
+            rec.u64("profile.samples_taken"),
+            rec.u64("profile.sampled_frees"),
+            rec.u64("profile.live_samples"),
+            human_bytes(rec.num("profile.live_bytes_estimate")),
+            rec.u64("profile.internal_frag_permille"),
+        );
+        print_sites(rec, 5);
+    }
+}
+
+fn print_sites(rec: &Json, n: usize) {
+    let sites = rec.arr("profile.sites");
+    if sites.is_empty() {
+        println!("  (no live samples)");
+        return;
+    }
+    println!(
+        "  {:<52} {:>12} {:>8} {:>10}",
+        "site", "live bytes", "samples", "oldest"
+    );
+    for s in sites.iter().take(n) {
+        println!(
+            "  {:<52} {:>12} {:>8} {:>10}",
+            s.str("site"),
+            human_bytes(s.num("live_bytes")),
+            s.u64("live_samples"),
+            human_nanos(s.num("oldest_age_nanos")),
+        );
+    }
+}
+
+fn print_diff(a: &Json, b: &Json) {
+    println!("{:<34} {:>14} {:>14} {:>14}", "counter", "before", "after", "delta");
+    let rows: &[(&str, &str)] = &[
+        ("small mallocs (fast)", "totals.malloc_fast"),
+        ("small mallocs (partial)", "totals.malloc_slow"),
+        ("small mallocs (new sb)", "totals.malloc_newsb"),
+        ("small frees (local)", "totals.free_local"),
+        ("small frees (remote)", "totals.free_remote"),
+        ("superblocks retired", "totals.free_empty"),
+        ("large allocs", "large.alloc"),
+        ("large frees", "large.free"),
+        ("trims", "trims"),
+        ("oom backoffs", "oom_backoffs"),
+        ("events dropped", "events_dropped"),
+        ("os live bytes", "os.live_bytes"),
+        ("os peak bytes", "os.peak_bytes"),
+        ("external frag permille", "fragmentation.external_frag_permille"),
+        ("p99 malloc fast (ns)", "latency.malloc_fast.p99"),
+        ("p99 malloc slow (ns)", "latency.malloc_slow.p99"),
+        ("p99 free fast (ns)", "latency.free_fast.p99"),
+    ];
+    for (label, path) in rows {
+        let (va, vb) = (a.num(path), b.num(path));
+        if va == 0.0 && vb == 0.0 {
+            continue;
+        }
+        println!(
+            "{:<34} {:>14} {:>14} {:>+14}",
+            label,
+            va as i64,
+            vb as i64,
+            (vb - va) as i64
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Demo workload
+// ---------------------------------------------------------------------
+
+/// A few distinct allocation sites for the demo's retention report; one
+/// of them leaks.
+fn demo_workload(a: &Arc<LfMalloc>) -> Vec<usize> {
+    let mut leaked = Vec::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let a = Arc::clone(a);
+            handles.push(s.spawn(move || {
+                let mut kept = Vec::new();
+                for i in 0..200_000usize {
+                    // Site A: short-lived mixed sizes, freed instantly.
+                    let p = unsafe { a.malloc(16 + (i * 7) % 480) };
+                    assert!(!p.is_null());
+                    unsafe { a.free(p) };
+                    if i % 10 == t {
+                        // Site B: retained for the whole run — the
+                        // retention report should rank this line first.
+                        let q = unsafe { a.malloc(256) };
+                        assert!(!q.is_null());
+                        kept.push(q as usize);
+                    }
+                }
+                kept
+            }));
+        }
+        for h in handles {
+            leaked.extend(h.join().unwrap());
+        }
+    });
+    leaked
+}
+
+fn demo() {
+    let a = Arc::new(LfMalloc::with_config(Config::with_heaps(4)));
+    let leaked = demo_workload(&a);
+    a.as_ref().maintain(MaintenanceBudget::light());
+
+    let mut out = std::io::stdout();
+    a.as_ref().dump_stats(&mut out).expect("stdout");
+
+    #[cfg(feature = "profile")]
+    {
+        println!("\nTop retention sites (live sampled bytes):");
+        let report = a.as_ref().retention_report();
+        for r in report.iter().take(5) {
+            println!(
+                "  {:<52} {:>10} over {} samples ({} threads)",
+                r.site.to_string(),
+                r.live_bytes,
+                r.live_samples,
+                r.threads
+            );
+        }
+    }
+
+    // The OpenMetrics exposition, checked before printing a preview.
+    let text = a.as_ref().render_openmetrics();
+    lfmalloc::metrics::check_openmetrics(&text).expect("well-formed exposition");
+    println!(
+        "\nOpenMetrics exposition: {} bytes, {} samples (run with serve_metrics() to scrape)",
+        text.len(),
+        text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()).count()
+    );
+
+    // Capture the record while the retained set is still live so the
+    // embedded profile carries the demo's retention sites, then clean
+    // up and print it last, by convention.
+    let record = a.as_ref().stats().to_json();
+    for p in leaked {
+        unsafe { a.free(p as *mut u8) };
+    }
+    println!();
+    println!("{record}");
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lfstat                      run the demo workload\n\
+         \x20      lfstat print FILE           pretty-print a stats-JSON record\n\
+         \x20      lfstat diff A B             diff two stats-JSON records\n\
+         \x20      lfstat top N FILE           top-N retention sites\n\
+         FILE may be `-` for stdin; the last JSON line of the file is used."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.iter().map(String::as_str).collect::<Vec<_>>().as_slice() {
+        [] | ["demo"] => demo(),
+        ["print", file] => print_record(&load_record(file)),
+        ["diff", a, b] => print_diff(&load_record(a), &load_record(b)),
+        ["top", n, file] => {
+            let n: usize = n.parse().unwrap_or_else(|_| usage());
+            print_sites(&load_record(file), n);
+        }
+        _ => usage(),
+    }
+}
