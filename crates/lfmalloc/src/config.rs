@@ -112,6 +112,43 @@ impl Default for ProfileParams {
     }
 }
 
+/// Crash-forensics parameters (read only when the `forensics` cargo
+/// feature is compiled in; carried unconditionally for the same reason
+/// as [`ProfileParams`] — two words of configuration keep [`Config`]'s
+/// shape feature-independent).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ForensicsParams {
+    /// File descriptor crash reports and fail-stop black boxes are
+    /// written to (with `write(2)` only). Default 2 (stderr).
+    pub report_fd: i32,
+    /// When `true`, the instance installs the chained
+    /// SIGSEGV/SIGBUS/SIGABRT crash handlers at construction (the
+    /// equivalent of calling
+    /// [`install_crash_reporter`](crate::LfMalloc::install_crash_reporter)
+    /// with `report_fd`). Default `false`: the flight recorder always
+    /// runs under the feature, but taking over process signal
+    /// dispositions stays an explicit opt-in.
+    pub crash_handlers: bool,
+}
+
+impl ForensicsParams {
+    /// Default: report to stderr, no handlers installed automatically.
+    pub const fn default_const() -> Self {
+        ForensicsParams { report_fd: 2, crash_handlers: false }
+    }
+
+    /// Custom report fd and handler opt-in.
+    pub const fn new(report_fd: i32, crash_handlers: bool) -> Self {
+        ForensicsParams { report_fd, crash_handlers }
+    }
+}
+
+impl Default for ForensicsParams {
+    fn default() -> Self {
+        Self::default_const()
+    }
+}
+
 /// Tunable allocator parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct Config {
@@ -158,6 +195,9 @@ pub struct Config {
     /// Allocation-sampler stride/seed (active only with the `profile`
     /// cargo feature; see the `profile` module).
     pub profile: ProfileParams,
+    /// Crash-forensics report fd and handler opt-in (active only with
+    /// the `forensics` cargo feature; see the `forensics` module).
+    pub forensics: ForensicsParams,
 }
 
 impl Config {
@@ -177,6 +217,7 @@ impl Config {
             reaper: None,
             atfork: true,
             profile: ProfileParams::default_const(),
+            forensics: ForensicsParams::default_const(),
         }
     }
 
@@ -194,6 +235,7 @@ impl Config {
             reaper: None,
             atfork: true,
             profile: ProfileParams::default_const(),
+            forensics: ForensicsParams::default_const(),
         }
     }
 
@@ -209,6 +251,7 @@ impl Config {
             reaper: None,
             atfork: true,
             profile: ProfileParams::default_const(),
+            forensics: ForensicsParams::default_const(),
         }
     }
 
@@ -253,6 +296,14 @@ impl Config {
     /// `profile` cargo feature is compiled in).
     pub const fn with_profile(self, p: ProfileParams) -> Self {
         Config { profile: p, ..self }
+    }
+
+    /// Crash-forensics report fd and handler opt-in (no effect unless
+    /// the `forensics` cargo feature is compiled in; const so the
+    /// global allocator's static configuration can opt in at compile
+    /// time).
+    pub const fn with_forensics(self, p: ForensicsParams) -> Self {
+        Config { forensics: p, ..self }
     }
 }
 

@@ -350,6 +350,30 @@ impl DescriptorPool {
         out
     }
 
+    /// Calls `f` with every descriptor slot without allocating — the
+    /// crash-forensics variant of
+    /// [`all_descriptors`](Self::all_descriptors). The slab registry
+    /// walk is the same lock-free chain as [`owns`](Self::owns), so
+    /// this is safe from a signal handler; slot *contents* are as
+    /// untrusted as ever.
+    pub fn for_each_descriptor(&self, mut f: impl FnMut(*mut Descriptor)) {
+        self.slabs.for_each_region(|base, bytes| {
+            let n = bytes / core::mem::size_of::<Descriptor>();
+            let descs = base as *mut Descriptor;
+            for i in 0..n {
+                f(unsafe { descs.add(i) });
+            }
+        });
+    }
+
+    /// Whether `addr` lies anywhere inside this pool's slab mappings —
+    /// coarser than [`owns`](Self::owns) (no slot-stride requirement):
+    /// the "is this descriptor metadata?" question `describe_ptr` asks
+    /// about arbitrary addresses. Lock-free and allocation-free.
+    pub fn owns_addr(&self, addr: usize) -> bool {
+        self.slabs.owning_region(addr).is_some()
+    }
+
     /// Descriptors currently free on `DescAvail`.
     ///
     /// # Safety

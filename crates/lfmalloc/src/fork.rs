@@ -262,6 +262,15 @@ pub(crate) fn enter_alloc() -> Option<AllocGuard> {
     }
 }
 
+/// Whether the calling thread is currently inside an allocator entry
+/// point. Read-only and async-signal-safe (one TLS flag read): the
+/// crash reporter uses it to say whether the fault interrupted the
+/// allocator itself or plain application code.
+#[cfg(feature = "forensics")]
+pub(crate) fn in_allocator() -> bool {
+    IN_ALLOC.try_with(|flag| flag.get()).unwrap_or(false)
+}
+
 /// Counts a rejected reentrant entry. Recorded regardless of hardening
 /// mode (there is no "trusting" answer to reentrancy — the call is
 /// rejected either way); `Hardening::Abort` escalates to fail-stop like

@@ -227,6 +227,23 @@ impl HealthState {
         }
     }
 
+    /// Raw `(storms_total, throttles, maintain_passes, fork_recoveries)`
+    /// for the crash reporter: allocation-free, four relaxed loads per
+    /// storm site plus three counters — safe from a signal handler.
+    #[cfg(feature = "forensics")]
+    pub(crate) fn crash_counters(&self) -> (u64, u64, u64, u64) {
+        let mut storms = 0u64;
+        for s in &self.storms {
+            storms += s.load(Ordering::Relaxed);
+        }
+        (
+            storms,
+            self.throttles.load(Ordering::Relaxed),
+            self.maintain_passes.load(Ordering::Relaxed),
+            self.fork_recoveries.load(Ordering::Relaxed),
+        )
+    }
+
     pub(crate) fn note_maintain(
         &self,
         from_reaper: bool,
@@ -340,6 +357,8 @@ fn storm<S: PageSource>(
             }
         }
         LivenessPolicy::Abort => {
+            #[cfg(feature = "forensics")]
+            crate::forensics::failstop_report(inner, "liveness-abort", 0);
             panic!(
                 "lfmalloc liveness watchdog: CAS retry storm at {} \
                  ({} consecutive failed retries, ceiling {}) under LivenessPolicy::Abort",

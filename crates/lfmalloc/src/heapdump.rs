@@ -1,0 +1,1103 @@
+//! Post-mortem heap dumps (the `forensics` cargo feature): a versioned
+//! JSON snapshot of the allocator's state plus the offline analysis
+//! that `lfstat analyze` / `lfstat diff-heap` run over it.
+//!
+//! # Dump format
+//!
+//! A dump is a single JSON object with `"format": "lfmalloc-heapdump"`
+//! and an integer `"version"` (currently [`DUMP_VERSION`]). Consumers
+//! must reject unknown formats and major versions; producers may only
+//! *add* fields within a version — removals or semantic changes bump
+//! the version. Version 1 carries:
+//!
+//! * `os` — the byte reconciliation (superblock / slab / large bytes vs
+//!   the page source's live total);
+//! * `health`, `misuse` — the always-on counter families;
+//! * `descriptors` — a census of the descriptor universe by superblock
+//!   state (`Active`/`Full`/`Partial`/`Empty`, plus `unbound` for
+//!   descriptors not currently backing a superblock);
+//! * `classes` — per-size-class occupancy (superblocks, blocks used vs
+//!   capacity) aggregated over bound descriptors;
+//! * `large` — live count/bytes and every registered span;
+//! * `quarantine_depth`, `flight` (recorder tail + dropped count);
+//! * `profile.sites` — live profile samples by call site (only when the
+//!   crate is also built with `profile` and the dump is quiescent).
+//!
+//! # Write paths
+//!
+//! [`LfMalloc::dump_heap`] is the quiescent path (opens a file, may
+//! allocate, includes the profile section). [`LfMalloc::dump_heap_fd`]
+//! is the best-effort crash-context path: it renders through the same
+//! fixed-buffer [`SigBuf`]/[`FdWriter`] primitives as the crash
+//! reporter — no allocation, no locks — and therefore omits the
+//! profile section. Both emit the same format/version.
+//!
+//! Occupancy numbers are racy snapshots when the heap is not quiescent:
+//! each descriptor's anchor is read once, and `Active` superblocks hold
+//! reserved credits that count as used. The analyzer treats them as
+//! diagnostics, not ground truth.
+
+use core::sync::atomic::Ordering;
+use std::io::{self, Write};
+use std::path::Path;
+
+use osmem::source::PageSource;
+
+use crate::anchor::SbState;
+use crate::config::{PREFIX_SIZE, SB_SIZE};
+use crate::forensics::{
+    class_of_size, merge_tail, unpack_meta, FdWriter, OpKind, SigBuf, CLASS_LARGE, CLASS_UNKNOWN,
+};
+use crate::harden::{Hardening, MisuseKind};
+use crate::instance::{Inner, LfMalloc};
+use crate::size_classes::NUM_CLASSES;
+
+/// Current dump format version. See the module docs for the
+/// compatibility contract.
+pub const DUMP_VERSION: u64 = 1;
+
+/// Flight-recorder entries included in a dump.
+const DUMP_TAIL: usize = 64;
+
+fn wline(w: &mut impl Write, b: &SigBuf) -> io::Result<()> {
+    w.write_all(b.as_bytes())?;
+    w.write_all(b"\n")
+}
+
+/// Appends `s` JSON-escaped (quotes not included).
+#[cfg_attr(not(feature = "profile"), allow(dead_code))]
+fn push_json_str(b: &mut SigBuf, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => b.push_str("\\\""),
+            '\\' => b.push_str("\\\\"),
+            '\n' => b.push_str("\\n"),
+            '\r' => b.push_str("\\r"),
+            '\t' => b.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                b.push_str("\\u00");
+                b.push_hex(((c as u32) >> 4) as u64);
+                b.push_hex(((c as u32) & 0xF) as u64);
+            }
+            c => {
+                let mut tmp = [0u8; 4];
+                b.push_str(c.encode_utf8(&mut tmp));
+            }
+        }
+    }
+}
+
+/// Aggregates built from one pass over the descriptor universe.
+struct DescWalk {
+    total: u64,
+    by_state: [u64; 4],
+    unbound: u64,
+    // Per class: [superblocks, blocks_used, blocks_capacity].
+    classes: [[u64; 3]; NUM_CLASSES],
+}
+
+fn walk_descriptors<S: PageSource>(inner: &Inner<S>) -> DescWalk {
+    let mut w = DescWalk {
+        total: 0,
+        by_state: [0; 4],
+        unbound: 0,
+        classes: [[0; 3]; NUM_CLASSES],
+    };
+    inner.desc_pool.for_each_descriptor(|dp| {
+        let desc = unsafe { &*dp };
+        w.total += 1;
+        let sz = desc.sz() as usize;
+        let maxcount = desc.maxcount() as usize;
+        let sb = desc.sb() as usize;
+        let bound = sz >= 2 * PREFIX_SIZE
+            && maxcount >= 1
+            && sz * maxcount <= SB_SIZE
+            && sb != 0
+            && sb % SB_SIZE == 0
+            && inner.sb_pool.owns(sb);
+        if !bound {
+            w.unbound += 1;
+            return;
+        }
+        let anchor = desc.load_anchor();
+        let state = anchor.state();
+        w.by_state[state as usize] += 1;
+        if let Some(ci) = class_of_size(desc.sz()) {
+            let used = maxcount as u64 - (anchor.count() as u64).min(maxcount as u64);
+            let c = &mut w.classes[ci as usize];
+            c[0] += 1;
+            c[1] += used;
+            c[2] += maxcount as u64;
+        }
+    });
+    w
+}
+
+/// Renders a version-[`DUMP_VERSION`] dump of `inner` into `w`. With
+/// `include_profile == false` the rendering allocates nothing (crash
+/// path); errors from the sink are reported but rendering state never
+/// panics.
+pub(crate) fn render_dump<S: PageSource>(
+    inner: &Inner<S>,
+    w: &mut impl Write,
+    include_profile: bool,
+) -> io::Result<()> {
+    let mut b = SigBuf::new();
+
+    b.push_str("{\"format\":\"lfmalloc-heapdump\",\"version\":");
+    b.push_dec(DUMP_VERSION);
+    b.push_str(",");
+    wline(w, &b)?;
+
+    b.clear();
+    b.push_str("\"nheaps\":");
+    b.push_dec(inner.nheaps as u64);
+    b.push_str(",\"hardening\":\"");
+    b.push_str(match inner.config.hardening {
+        Hardening::Off => "off",
+        Hardening::Detect => "detect",
+        Hardening::Abort => "abort",
+    });
+    b.push_str("\",");
+    wline(w, &b)?;
+
+    let rec = inner.reconcile_bytes();
+    b.clear();
+    b.push_str("\"os\":{\"superblock_bytes\":");
+    b.push_dec(rec.superblock_bytes as u64);
+    b.push_str(",\"descriptor_slab_bytes\":");
+    b.push_dec(rec.descriptor_slab_bytes as u64);
+    b.push_str(",\"large_bytes\":");
+    b.push_dec(rec.large_bytes as u64);
+    b.push_str(",\"source_live_bytes\":");
+    b.push_dec(rec.source_live_bytes as u64);
+    b.push_str(",\"reconciles\":");
+    b.push_str(if rec.reconciles() { "true" } else { "false" });
+    b.push_str("},");
+    wline(w, &b)?;
+
+    let (storms, throttles, passes, recoveries) = inner.health.crash_counters();
+    b.clear();
+    b.push_str("\"health\":{\"storms\":");
+    b.push_dec(storms);
+    b.push_str(",\"throttles\":");
+    b.push_dec(throttles);
+    b.push_str(",\"maintain_passes\":");
+    b.push_dec(passes);
+    b.push_str(",\"fork_recoveries\":");
+    b.push_dec(recoveries);
+    b.push_str("},");
+    wline(w, &b)?;
+
+    b.clear();
+    b.push_str("\"misuse\":{\"invalid_free\":");
+    b.push_dec(inner.misuse.count(MisuseKind::InvalidFree));
+    b.push_str(",\"double_free\":");
+    b.push_dec(inner.misuse.count(MisuseKind::DoubleFree));
+    b.push_str(",\"poison_violation\":");
+    b.push_dec(inner.misuse.count(MisuseKind::PoisonViolation));
+    b.push_str(",\"guard_overrun\":");
+    b.push_dec(inner.misuse.count(MisuseKind::GuardOverrun));
+    b.push_str(",\"reentrant_alloc\":");
+    b.push_dec(inner.misuse.count(MisuseKind::ReentrantAlloc));
+    b.push_str("},");
+    wline(w, &b)?;
+
+    let walk = walk_descriptors(inner);
+    b.clear();
+    b.push_str("\"descriptors\":{\"total\":");
+    b.push_dec(walk.total);
+    b.push_str(",\"active\":");
+    b.push_dec(walk.by_state[SbState::Active as usize]);
+    b.push_str(",\"full\":");
+    b.push_dec(walk.by_state[SbState::Full as usize]);
+    b.push_str(",\"partial\":");
+    b.push_dec(walk.by_state[SbState::Partial as usize]);
+    b.push_str(",\"empty\":");
+    b.push_dec(walk.by_state[SbState::Empty as usize]);
+    b.push_str(",\"unbound\":");
+    b.push_dec(walk.unbound);
+    b.push_str("},");
+    wline(w, &b)?;
+
+    w.write_all(b"\"classes\":[\n")?;
+    let mut first = true;
+    for (ci, c) in walk.classes.iter().enumerate() {
+        if c[0] == 0 {
+            continue;
+        }
+        b.clear();
+        if !first {
+            b.push_str(",");
+        }
+        first = false;
+        b.push_str("{\"class\":");
+        b.push_dec(ci as u64);
+        b.push_str(",\"size\":");
+        b.push_dec(inner.classes[ci].sz as u64);
+        b.push_str(",\"superblocks\":");
+        b.push_dec(c[0]);
+        b.push_str(",\"blocks_used\":");
+        b.push_dec(c[1]);
+        b.push_str(",\"blocks_capacity\":");
+        b.push_dec(c[2]);
+        b.push_str("}");
+        wline(w, &b)?;
+    }
+    w.write_all(b"],\n")?;
+
+    b.clear();
+    b.push_str("\"large\":{\"live\":");
+    b.push_dec(inner.large_live.load(Ordering::Relaxed) as u64);
+    b.push_str(",\"bytes\":");
+    b.push_dec(inner.large_bytes.load(Ordering::Relaxed) as u64);
+    b.push_str(",\"spans\":[");
+    wline(w, &b)?;
+    let mut first = true;
+    let mut err = None;
+    inner.large_spans.for_each(|base, bytes| {
+        if err.is_some() {
+            return;
+        }
+        let mut lb = SigBuf::new();
+        if !first {
+            lb.push_str(",");
+        }
+        first = false;
+        lb.push_str("{\"base\":");
+        lb.push_dec(base as u64);
+        lb.push_str(",\"bytes\":");
+        lb.push_dec(bytes as u64);
+        lb.push_str("}");
+        if let Err(e) = wline(w, &lb) {
+            err = Some(e);
+        }
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    w.write_all(b"]},\n")?;
+
+    b.clear();
+    b.push_str("\"quarantine_depth\":");
+    b.push_dec(inner.quarantine_depth() as u64);
+    b.push_str(",");
+    wline(w, &b)?;
+
+    // Flight recorder: keep the DUMP_TAIL newest entries, fixed-array
+    // selection as in the crash reporter.
+    let mut tail: [(u64, u64, u64); DUMP_TAIL] = [(0, 0, 0); DUMP_TAIL];
+    let mut n = 0usize;
+    merge_tail(inner, |seq, meta, ptr| {
+        if n < tail.len() {
+            tail[n] = (seq, meta, ptr);
+            n += 1;
+        } else {
+            let mut min_i = 0;
+            for i in 1..tail.len() {
+                if tail[i].0 < tail[min_i].0 {
+                    min_i = i;
+                }
+            }
+            if seq > tail[min_i].0 {
+                tail[min_i] = (seq, meta, ptr);
+            }
+        }
+    });
+    tail[..n].sort_unstable_by(|a, b| b.0.cmp(&a.0));
+    b.clear();
+    b.push_str("\"flight\":{\"dropped\":");
+    b.push_dec(inner.forensics.dropped.get());
+    b.push_str(",\"tail\":[");
+    wline(w, &b)?;
+    for (i, &(seq, meta, ptr)) in tail[..n].iter().enumerate() {
+        let (op_bits, class, tid) = unpack_meta(meta);
+        b.clear();
+        if i != 0 {
+            b.push_str(",");
+        }
+        b.push_str("{\"seq\":");
+        b.push_dec(seq);
+        b.push_str(",\"op\":\"");
+        b.push_str(match OpKind::from_bits(op_bits) {
+            Some(k) => k.label(),
+            None => "unknown",
+        });
+        b.push_str("\",\"class\":");
+        b.push_dec(class as u64);
+        b.push_str(",\"tid\":");
+        b.push_dec(tid as u64);
+        b.push_str(",\"ptr\":");
+        b.push_dec(ptr);
+        b.push_str("}");
+        wline(w, &b)?;
+    }
+    w.write_all(b"]}")?;
+
+    #[cfg(feature = "profile")]
+    if include_profile {
+        w.write_all(b",\n\"profile\":{\"sites\":[\n")?;
+        let sites = {
+            let inst = unsafe {
+                LfMalloc::<S>::borrow_raw(core::ptr::NonNull::new_unchecked(
+                    inner as *const Inner<S> as *mut Inner<S>,
+                ))
+            };
+            inst.retention_report()
+        };
+        for (i, site) in sites.iter().enumerate() {
+            b.clear();
+            if i != 0 {
+                b.push_str(",");
+            }
+            b.push_str("{\"file\":\"");
+            push_json_str(&mut b, site.site.file);
+            b.push_str("\",\"line\":");
+            b.push_dec(site.site.line as u64);
+            b.push_str(",\"live_bytes\":");
+            b.push_dec(site.live_bytes);
+            b.push_str(",\"live_samples\":");
+            b.push_dec(site.live_samples);
+            b.push_str("}");
+            wline(w, &b)?;
+        }
+        w.write_all(b"]}")?;
+    }
+    #[cfg(not(feature = "profile"))]
+    let _ = include_profile;
+
+    w.write_all(b"}\n")
+}
+
+impl<S: PageSource> LfMalloc<S> {
+    /// Writes a version-[`DUMP_VERSION`] heap dump to `path`
+    /// (quiescent path: opens a file, includes the live profile
+    /// samples when the crate is built with `profile`).
+    pub fn dump_heap(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        render_dump(self.inner(), &mut f, true)?;
+        crate::stat_event!(self.inner(), HeapDump, 0u16, DUMP_VERSION);
+        f.flush()
+    }
+
+    /// Writes a heap dump to an already-open raw fd using only
+    /// `write(2)` and fixed buffers — the best-effort crash-context
+    /// path. Omits the profile section (building it allocates).
+    pub fn dump_heap_fd(&self, fd: i32) {
+        let mut w = FdWriter::new(fd);
+        let _ = render_dump(self.inner(), &mut w, false);
+    }
+
+    /// Renders a heap dump into any sink (tests, in-memory capture).
+    pub fn dump_heap_to(&self, w: &mut impl Write) -> io::Result<()> {
+        render_dump(self.inner(), w, true)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Offline side: minimal JSON parser + analyzers
+// ---------------------------------------------------------------------
+
+/// Minimal JSON value for the offline analyzers (no external deps).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn u64_at(&self, key: &str) -> u64 {
+        self.get(key).and_then(Json::as_u64).unwrap_or(0)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn lit(&mut self, text: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        core::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| core::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err("bad escape".into()),
+                    }
+                    self.pos += 1;
+                }
+                Some(&c) => {
+                    // Copy the full UTF-8 sequence.
+                    let len = match c {
+                        c if c < 0x80 => 1,
+                        c if c >= 0xF0 => 4,
+                        c if c >= 0xE0 => 3,
+                        _ => 2,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .and_then(|b| core::str::from_utf8(b).ok())
+                        .ok_or("bad utf-8 in string")?;
+                    out.push_str(chunk);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("bad array at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            pairs.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("bad object at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+fn parse_dump(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    match v.get("format").and_then(Json::as_str) {
+        Some("lfmalloc-heapdump") => {}
+        Some(other) => return Err(format!("not a heap dump (format {other:?})")),
+        None => return Err("not a heap dump (no format field)".into()),
+    }
+    let version = v.u64_at("version");
+    if version == 0 || version > DUMP_VERSION {
+        return Err(format!(
+            "unsupported dump version {version} (analyzer understands <= {DUMP_VERSION})"
+        ));
+    }
+    Ok(v)
+}
+
+/// One call site ranked as a leak candidate (live profile samples at
+/// dump time, largest retained bytes first).
+#[derive(Debug, Clone)]
+pub struct LeakCandidate {
+    /// Source file of the allocation call site.
+    pub file: String,
+    /// Source line of the call site.
+    pub line: u64,
+    /// Estimated retained bytes.
+    pub live_bytes: u64,
+    /// Live samples attributed to the site.
+    pub live_samples: u64,
+}
+
+/// Per-size-class occupancy from the dump.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassCensus {
+    /// Size-class index.
+    pub class: u64,
+    /// Block size in bytes.
+    pub size: u64,
+    /// Superblocks bound to this class.
+    pub superblocks: u64,
+    /// Blocks in use (or reserved as credits) across those superblocks.
+    pub blocks_used: u64,
+    /// Total block capacity across those superblocks.
+    pub blocks_capacity: u64,
+}
+
+impl ClassCensus {
+    /// Occupied fraction of the class's block capacity.
+    pub fn utilization(&self) -> f64 {
+        if self.blocks_capacity == 0 {
+            0.0
+        } else {
+            self.blocks_used as f64 / self.blocks_capacity as f64
+        }
+    }
+}
+
+/// Descriptor-universe census by superblock state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DescriptorCensus {
+    /// All descriptors ever carved.
+    pub total: u64,
+    /// Bound to an Active superblock.
+    pub active: u64,
+    /// Bound to a Full superblock.
+    pub full: u64,
+    /// Bound to a Partial superblock.
+    pub partial: u64,
+    /// Bound to an Empty superblock.
+    pub empty: u64,
+    /// Not currently backing a superblock.
+    pub unbound: u64,
+}
+
+/// The offline analysis of one heap dump (`lfstat analyze`).
+#[derive(Debug, Clone)]
+pub struct AnalyzeReport {
+    /// Dump format version.
+    pub version: u64,
+    /// Hardening mode the instance ran with.
+    pub hardening: String,
+    /// Leak candidates, largest retained bytes first (empty when the
+    /// dump has no profile section).
+    pub leak_candidates: Vec<LeakCandidate>,
+    /// Non-empty size classes.
+    pub classes: Vec<ClassCensus>,
+    /// Descriptor census.
+    pub descriptors: DescriptorCensus,
+    /// Live large spans registered at dump time.
+    pub large_spans: u64,
+    /// Bytes backing live large blocks.
+    pub large_bytes: u64,
+    /// Freed blocks parked in quarantine.
+    pub quarantine_depth: u64,
+    /// Page-source live bytes.
+    pub os_live_bytes: u64,
+    /// Whether the component byte counts reconciled.
+    pub reconciles: bool,
+    /// Sum of `blocks_used * size` over all classes.
+    pub small_used_bytes: u64,
+    /// Sum of `blocks_capacity * size` over all classes.
+    pub small_capacity_bytes: u64,
+    /// Flight-recorder entries present in the dump.
+    pub flight_len: u64,
+    /// Flight-recorder drops.
+    pub flight_dropped: u64,
+    /// Total misuse reports.
+    pub misuse_total: u64,
+}
+
+impl AnalyzeReport {
+    /// Occupied fraction of the small-block capacity — the headline
+    /// fragmentation number (1.0 = fully packed).
+    pub fn small_utilization(&self) -> f64 {
+        if self.small_capacity_bytes == 0 {
+            0.0
+        } else {
+            self.small_used_bytes as f64 / self.small_capacity_bytes as f64
+        }
+    }
+}
+
+/// Analyzes heap-dump `text` (the engine behind `lfstat analyze`).
+pub fn analyze_dump(text: &str) -> Result<AnalyzeReport, String> {
+    let v = parse_dump(text)?;
+    let mut leaks: Vec<LeakCandidate> = v
+        .get("profile")
+        .and_then(|p| p.get("sites"))
+        .and_then(Json::as_arr)
+        .map(|sites| {
+            sites
+                .iter()
+                .map(|s| LeakCandidate {
+                    file: s.get("file").and_then(Json::as_str).unwrap_or("?").to_string(),
+                    line: s.u64_at("line"),
+                    live_bytes: s.u64_at("live_bytes"),
+                    live_samples: s.u64_at("live_samples"),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    leaks.sort_by(|a, b| b.live_bytes.cmp(&a.live_bytes));
+
+    let classes: Vec<ClassCensus> = v
+        .get("classes")
+        .and_then(Json::as_arr)
+        .map(|cs| {
+            cs.iter()
+                .map(|c| ClassCensus {
+                    class: c.u64_at("class"),
+                    size: c.u64_at("size"),
+                    superblocks: c.u64_at("superblocks"),
+                    blocks_used: c.u64_at("blocks_used"),
+                    blocks_capacity: c.u64_at("blocks_capacity"),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let small_used_bytes = classes.iter().map(|c| c.blocks_used * c.size).sum();
+    let small_capacity_bytes = classes.iter().map(|c| c.blocks_capacity * c.size).sum();
+
+    let d = v.get("descriptors");
+    let descriptors = DescriptorCensus {
+        total: d.map_or(0, |d| d.u64_at("total")),
+        active: d.map_or(0, |d| d.u64_at("active")),
+        full: d.map_or(0, |d| d.u64_at("full")),
+        partial: d.map_or(0, |d| d.u64_at("partial")),
+        empty: d.map_or(0, |d| d.u64_at("empty")),
+        unbound: d.map_or(0, |d| d.u64_at("unbound")),
+    };
+
+    let misuse_total = v
+        .get("misuse")
+        .map(|m| match m {
+            Json::Obj(pairs) => pairs.iter().filter_map(|(_, v)| v.as_u64()).sum(),
+            _ => 0,
+        })
+        .unwrap_or(0);
+
+    Ok(AnalyzeReport {
+        version: v.u64_at("version"),
+        hardening: v.get("hardening").and_then(Json::as_str).unwrap_or("?").to_string(),
+        leak_candidates: leaks,
+        classes,
+        descriptors,
+        large_spans: v
+            .get("large")
+            .and_then(|l| l.get("spans"))
+            .and_then(Json::as_arr)
+            .map_or(0, |s| s.len() as u64),
+        large_bytes: v.get("large").map_or(0, |l| l.u64_at("bytes")),
+        quarantine_depth: v.u64_at("quarantine_depth"),
+        os_live_bytes: v.get("os").map_or(0, |o| o.u64_at("source_live_bytes")),
+        reconciles: v
+            .get("os")
+            .and_then(|o| o.get("reconciles"))
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+        small_used_bytes,
+        small_capacity_bytes,
+        flight_len: v
+            .get("flight")
+            .and_then(|f| f.get("tail"))
+            .and_then(Json::as_arr)
+            .map_or(0, |t| t.len() as u64),
+        flight_dropped: v.get("flight").map_or(0, |f| f.u64_at("dropped")),
+        misuse_total,
+    })
+}
+
+impl core::fmt::Display for AnalyzeReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(f, "lfmalloc heap dump v{} (hardening: {})", self.version, self.hardening)?;
+        writeln!(
+            f,
+            "os: {} live bytes ({}), large: {} spans / {} B, quarantine: {}",
+            self.os_live_bytes,
+            if self.reconciles { "reconciles" } else { "DOES NOT RECONCILE" },
+            self.large_spans,
+            self.large_bytes,
+            self.quarantine_depth,
+        )?;
+        writeln!(
+            f,
+            "descriptors: {} total ({} active, {} full, {} partial, {} empty, {} unbound)",
+            self.descriptors.total,
+            self.descriptors.active,
+            self.descriptors.full,
+            self.descriptors.partial,
+            self.descriptors.empty,
+            self.descriptors.unbound,
+        )?;
+        writeln!(
+            f,
+            "small blocks: {} / {} B used ({:.1}% utilization)",
+            self.small_used_bytes,
+            self.small_capacity_bytes,
+            self.small_utilization() * 100.0,
+        )?;
+        if self.misuse_total > 0 {
+            writeln!(f, "misuse reports: {}", self.misuse_total)?;
+        }
+        writeln!(f, "fragmentation by class:")?;
+        for c in &self.classes {
+            writeln!(
+                f,
+                "  class {:>2} ({:>5} B): {:>4} superblocks, {:>7}/{:<7} blocks ({:.1}%)",
+                c.class,
+                c.size,
+                c.superblocks,
+                c.blocks_used,
+                c.blocks_capacity,
+                c.utilization() * 100.0,
+            )?;
+        }
+        if self.leak_candidates.is_empty() {
+            writeln!(f, "leak candidates: none (dump has no live profile samples)")?;
+        } else {
+            writeln!(f, "leak candidates (retained bytes, largest first):")?;
+            for (i, l) in self.leak_candidates.iter().enumerate().take(16) {
+                writeln!(
+                    f,
+                    "  {:>2}. {}:{} — {} B over {} live samples",
+                    i + 1,
+                    l.file,
+                    l.line,
+                    l.live_bytes,
+                    l.live_samples,
+                )?;
+            }
+        }
+        write!(
+            f,
+            "flight recorder: {} entries in dump, {} dropped",
+            self.flight_len, self.flight_dropped
+        )
+    }
+}
+
+/// Per-site retained-bytes delta between two dumps.
+#[derive(Debug, Clone)]
+pub struct SiteDelta {
+    /// Source file of the call site.
+    pub file: String,
+    /// Source line.
+    pub line: u64,
+    /// `b.live_bytes - a.live_bytes` for the site.
+    pub delta_bytes: i64,
+    /// `b.live_samples - a.live_samples`.
+    pub delta_samples: i64,
+}
+
+/// `lfstat diff-heap`: growth between two dumps of the same process.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Per-site deltas, largest growth first (sites present in either
+    /// dump).
+    pub site_deltas: Vec<SiteDelta>,
+    /// Per-class `blocks_used` deltas `(class, size, delta)`, non-zero
+    /// only.
+    pub class_deltas: Vec<(u64, u64, i64)>,
+    /// Large-bytes delta.
+    pub delta_large_bytes: i64,
+    /// Page-source live-bytes delta.
+    pub delta_os_bytes: i64,
+}
+
+/// Diffs two heap dumps (earlier `a`, later `b`).
+pub fn diff_dumps(a: &str, b: &str) -> Result<DiffReport, String> {
+    let ra = analyze_dump(a)?;
+    let rb = analyze_dump(b)?;
+    let mut deltas: Vec<SiteDelta> = Vec::new();
+    for l in &rb.leak_candidates {
+        let prev = ra
+            .leak_candidates
+            .iter()
+            .find(|p| p.file == l.file && p.line == l.line);
+        deltas.push(SiteDelta {
+            file: l.file.clone(),
+            line: l.line,
+            delta_bytes: l.live_bytes as i64 - prev.map_or(0, |p| p.live_bytes as i64),
+            delta_samples: l.live_samples as i64 - prev.map_or(0, |p| p.live_samples as i64),
+        });
+    }
+    for p in &ra.leak_candidates {
+        if !rb.leak_candidates.iter().any(|l| l.file == p.file && l.line == p.line) {
+            deltas.push(SiteDelta {
+                file: p.file.clone(),
+                line: p.line,
+                delta_bytes: -(p.live_bytes as i64),
+                delta_samples: -(p.live_samples as i64),
+            });
+        }
+    }
+    deltas.sort_by(|x, y| y.delta_bytes.cmp(&x.delta_bytes));
+
+    let mut class_deltas = Vec::new();
+    for cb in &rb.classes {
+        let used_a = ra
+            .classes
+            .iter()
+            .find(|c| c.class == cb.class)
+            .map_or(0, |c| c.blocks_used as i64);
+        let d = cb.blocks_used as i64 - used_a;
+        if d != 0 {
+            class_deltas.push((cb.class, cb.size, d));
+        }
+    }
+    for ca in &ra.classes {
+        if !rb.classes.iter().any(|c| c.class == ca.class) && ca.blocks_used > 0 {
+            class_deltas.push((ca.class, ca.size, -(ca.blocks_used as i64)));
+        }
+    }
+
+    Ok(DiffReport {
+        site_deltas: deltas,
+        class_deltas,
+        delta_large_bytes: rb.large_bytes as i64 - ra.large_bytes as i64,
+        delta_os_bytes: rb.os_live_bytes as i64 - ra.os_live_bytes as i64,
+    })
+}
+
+impl core::fmt::Display for DiffReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "heap growth: os {:+} B, large {:+} B",
+            self.delta_os_bytes, self.delta_large_bytes
+        )?;
+        if self.class_deltas.is_empty() {
+            writeln!(f, "class occupancy: unchanged")?;
+        } else {
+            writeln!(f, "class occupancy deltas:")?;
+            for &(class, size, d) in &self.class_deltas {
+                writeln!(f, "  class {class:>2} ({size:>5} B): {d:+} blocks")?;
+            }
+        }
+        if self.site_deltas.is_empty() {
+            write!(f, "call sites: no profile data in either dump")
+        } else {
+            writeln!(f, "call-site retention deltas (growth first):")?;
+            for (i, s) in self.site_deltas.iter().enumerate().take(16) {
+                writeln!(
+                    f,
+                    "  {:>2}. {}:{} — {:+} B ({:+} samples)",
+                    i + 1,
+                    s.file,
+                    s.line,
+                    s.delta_bytes,
+                    s.delta_samples,
+                )?;
+            }
+            Ok(())
+        }
+    }
+}
+
+// Suppress unused warnings for constants referenced only by docs/tests.
+const _: u16 = CLASS_LARGE;
+const _: u16 = CLASS_UNKNOWN;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "format": "lfmalloc-heapdump", "version": 1,
+        "nheaps": 4, "hardening": "detect",
+        "os": {"superblock_bytes": 1048576, "descriptor_slab_bytes": 16384,
+               "large_bytes": 8192, "source_live_bytes": 1073152, "reconciles": true},
+        "health": {"storms": 0, "throttles": 0, "maintain_passes": 2, "fork_recoveries": 0},
+        "misuse": {"invalid_free": 0, "double_free": 1, "poison_violation": 0,
+                   "guard_overrun": 0, "reentrant_alloc": 0},
+        "descriptors": {"total": 10, "active": 4, "full": 1, "partial": 2,
+                        "empty": 1, "unbound": 2},
+        "classes": [
+            {"class": 0, "size": 16, "superblocks": 2, "blocks_used": 100, "blocks_capacity": 2048},
+            {"class": 5, "size": 96, "superblocks": 1, "blocks_used": 170, "blocks_capacity": 170}
+        ],
+        "large": {"live": 1, "bytes": 8192, "spans": [{"base": 4096, "bytes": 8192}]},
+        "quarantine_depth": 3,
+        "flight": {"dropped": 0, "tail": [
+            {"seq": 2, "op": "free", "class": 0, "tid": 0, "ptr": 64},
+            {"seq": 1, "op": "alloc", "class": 0, "tid": 0, "ptr": 64}
+        ]},
+        "profile": {"sites": [
+            {"file": "small.rs", "line": 5, "live_bytes": 128, "live_samples": 1},
+            {"file": "leaky.rs", "line": 42, "live_bytes": 999999, "live_samples": 7}
+        ]}
+    }"#;
+
+    #[test]
+    fn analyze_parses_and_ranks_leaks() {
+        let r = analyze_dump(SAMPLE).unwrap();
+        assert_eq!(r.version, 1);
+        assert_eq!(r.hardening, "detect");
+        assert_eq!(r.leak_candidates[0].file, "leaky.rs");
+        assert_eq!(r.leak_candidates[0].live_bytes, 999_999);
+        assert_eq!(r.classes.len(), 2);
+        assert_eq!(r.small_used_bytes, 100 * 16 + 170 * 96);
+        assert_eq!(r.descriptors.total, 10);
+        assert_eq!(r.large_spans, 1);
+        assert_eq!(r.quarantine_depth, 3);
+        assert_eq!(r.flight_len, 2);
+        assert_eq!(r.misuse_total, 1);
+        assert!(r.reconciles);
+        let text = r.to_string();
+        assert!(text.contains("leaky.rs:42"));
+        assert!(text.contains("reconciles"));
+    }
+
+    #[test]
+    fn analyze_rejects_foreign_and_future_inputs() {
+        assert!(analyze_dump("{}").unwrap_err().contains("no format"));
+        assert!(analyze_dump(r#"{"format":"something-else","version":1}"#)
+            .unwrap_err()
+            .contains("not a heap dump"));
+        assert!(analyze_dump(r#"{"format":"lfmalloc-heapdump","version":99}"#)
+            .unwrap_err()
+            .contains("unsupported dump version"));
+        assert!(analyze_dump("not json at all").is_err());
+    }
+
+    #[test]
+    fn diff_reports_growth_and_disappearance() {
+        let earlier = SAMPLE.replace("999999", "1000").replace("\"live_samples\": 7", "\"live_samples\": 1");
+        let d = diff_dumps(&earlier, SAMPLE).unwrap();
+        assert_eq!(d.site_deltas[0].file, "leaky.rs");
+        assert_eq!(d.site_deltas[0].delta_bytes, 999_999 - 1000);
+        assert_eq!(d.delta_os_bytes, 0);
+        let text = d.to_string();
+        assert!(text.contains("leaky.rs:42"));
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_nesting() {
+        let mut p = Parser::new(r#"{"a\n\"b":[1,2.5,-3,true,false,null,{"x":"A"}]}"#);
+        let v = p.value().unwrap();
+        let arr = v.get("a\n\"b").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[6].get("x").and_then(Json::as_str), Some("A"));
+    }
+}

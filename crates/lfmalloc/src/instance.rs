@@ -88,6 +88,10 @@ pub(crate) struct Inner<S: PageSource> {
     /// Sampled allocation-site profiler (see [`crate::profile`]).
     #[cfg(feature = "profile")]
     pub profile: crate::profile::ProfileState,
+    /// Crash-forensics state: flight-recorder rings and crash-reporter
+    /// wiring (see [`crate::forensics`]).
+    #[cfg(feature = "forensics")]
+    pub forensics: crate::forensics::ForensicsState,
 }
 
 impl<S: PageSource> Inner<S> {
@@ -278,6 +282,15 @@ impl<S: PageSource> LfMalloc<S> {
                     return Err(OutOfMemory);
                 }
             };
+            #[cfg(feature = "forensics")]
+            let forensics = match crate::forensics::ForensicsState::new(config.forensics) {
+                Some(f) => f,
+                None => {
+                    free_quarantine(quarantine);
+                    System.dealloc(heaps as *mut u8, heaps_layout);
+                    return Err(OutOfMemory);
+                }
+            };
             let inner_layout = Layout::new::<Inner<S>>();
             let inner = System.alloc(inner_layout) as *mut Inner<S>;
             if inner.is_null() {
@@ -313,6 +326,8 @@ impl<S: PageSource> LfMalloc<S> {
                 stats,
                 #[cfg(feature = "profile")]
                 profile,
+                #[cfg(feature = "forensics")]
+                forensics,
             });
             // The FIFO partial lists allocate their dummy nodes now that
             // the domain has a stable address.
@@ -326,6 +341,16 @@ impl<S: PageSource> LfMalloc<S> {
             // allocator's first-call initialization.
             if config.atfork {
                 crate::fork::register_instance(&*inner);
+            }
+            // Black-box crash reporting, when configured: the instance
+            // address is stable from here on, so it can register as a
+            // crash sink.
+            #[cfg(feature = "forensics")]
+            if config.forensics.crash_handlers {
+                crate::forensics::install_crash_reporter_inner(
+                    &*inner,
+                    config.forensics.report_fd,
+                );
             }
             Ok(LfMalloc { inner: NonNull::new_unchecked(inner) })
         }
@@ -561,6 +586,20 @@ impl<S: PageSource> LfMalloc<S> {
         if !p.is_null() {
             crate::profile::tick(inner, p, size, site);
         }
+        #[cfg(feature = "forensics")]
+        crate::forensics::record(
+            inner,
+            if p.is_null() {
+                crate::forensics::OpKind::AllocFailed
+            } else {
+                crate::forensics::OpKind::Alloc
+            },
+            match class {
+                Some(ci) => ci as u16,
+                None => crate::forensics::CLASS_LARGE,
+            },
+            p as usize,
+        );
         p
     }
 
@@ -592,7 +631,8 @@ impl<S: PageSource> LfMalloc<S> {
         let Some(total) = size.checked_add(off) else {
             return core::ptr::null_mut();
         };
-        let p = match class_index(total) {
+        let class = class_index(total);
+        let p = match class {
             Some(ci) => {
                 let p = unsafe { crate::alloc::malloc_small(inner, ci, off) };
                 if !p.is_null() {
@@ -612,6 +652,20 @@ impl<S: PageSource> LfMalloc<S> {
         if !p.is_null() {
             crate::profile::tick(inner, p, size, site);
         }
+        #[cfg(feature = "forensics")]
+        crate::forensics::record(
+            inner,
+            if p.is_null() {
+                crate::forensics::OpKind::AllocFailed
+            } else {
+                crate::forensics::OpKind::Alloc
+            },
+            match class {
+                Some(ci) => ci as u16,
+                None => crate::forensics::CLASS_LARGE,
+            },
+            p as usize,
+        );
         p
     }
 
@@ -674,6 +728,10 @@ impl<S: PageSource> LfMalloc<S> {
         // removal needs no thread identity.
         #[cfg(feature = "profile")]
         crate::profile::untick(inner, ptr);
+        // Record before dispatch so misuse frees (which the hardened
+        // path rejects) still land in the flight recorder.
+        #[cfg(feature = "forensics")]
+        crate::forensics::record_free(inner, ptr);
         if inner.config.hardening != Hardening::Off {
             // The validated path establishes provenance before touching
             // any memory; misuse is reported, never executed.
@@ -741,6 +799,10 @@ impl<S: PageSource> Drop for LfMalloc<S> {
         //     parent/child, so after this no hook can see the dying
         //     instance.
         crate::fork::unregister_instance(self.inner());
+        // 0a'. Drop out of the crash-sink table first: after teardown
+        //      starts, a signal must not walk this instance's memory.
+        #[cfg(feature = "forensics")]
+        crate::forensics::unregister_crash_sink(self.inner());
         // 0b. Stop and join the background reaper (if any) before any
         //     state is torn down: a maintenance pass must never race
         //     teardown.
@@ -770,6 +832,8 @@ impl<S: PageSource> Drop for LfMalloc<S> {
             core::ptr::drop_in_place(core::ptr::addr_of_mut!((*inner).stats));
             #[cfg(feature = "profile")]
             core::ptr::drop_in_place(core::ptr::addr_of_mut!((*inner).profile));
+            #[cfg(feature = "forensics")]
+            core::ptr::drop_in_place(core::ptr::addr_of_mut!((*inner).forensics));
             // Quarantine entries are plain addresses into memory already
             // released above; dropping the rings only frees their
             // buffers.

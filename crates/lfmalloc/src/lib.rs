@@ -139,12 +139,16 @@ pub mod anchor;
 pub mod audit;
 pub mod config;
 pub mod descriptor;
+#[cfg(feature = "forensics")]
+pub mod forensics;
 pub mod fork;
 pub mod free_impl;
 pub mod global;
 pub mod harden;
 pub mod health;
 pub mod heap;
+#[cfg(feature = "forensics")]
+pub mod heapdump;
 pub mod instance;
 pub mod large;
 pub mod maintain;
@@ -167,6 +171,15 @@ pub use health::{
     DEFAULT_RETRY_CEILING, NUM_WATCH_SITES,
 };
 pub use config::ProfileParams;
+#[cfg(feature = "forensics")]
+pub use config::ForensicsParams;
+#[cfg(feature = "forensics")]
+pub use forensics::{FdWriter, FlightOp, OpKind, PtrKind, PtrReport, SigBuf};
+#[cfg(feature = "forensics")]
+pub use heapdump::{
+    analyze_dump, diff_dumps, AnalyzeReport, ClassCensus, DescriptorCensus, DiffReport,
+    LeakCandidate, SiteDelta, DUMP_VERSION,
+};
 pub use instance::{LfMalloc, OutOfMemory};
 pub use maintain::{MaintenanceBudget, MaintenanceReport, ReaperConfig};
 #[cfg(feature = "profile")]

@@ -140,6 +140,31 @@ fn render<S: PageSource>(this: &LfMalloc<S>) -> String {
     let _ = writeln!(o, "lfmalloc_os_peak_bytes {}", s.os.peak_bytes);
     write_family(&mut o, "lfmalloc_large_live", "gauge", "Live large blocks.");
     let _ = writeln!(o, "lfmalloc_large_live {}", s.large_live);
+    #[cfg(feature = "forensics")]
+    {
+        write_family(
+            &mut o,
+            "lfmalloc_flight_recorder_dropped",
+            "counter",
+            "Allocator ops the crash-forensics flight recorder could not record.",
+        );
+        let _ = writeln!(
+            o,
+            "lfmalloc_flight_recorder_dropped_total {}",
+            this.flight_recorder_dropped()
+        );
+        write_family(
+            &mut o,
+            "lfmalloc_crash_handler_installed",
+            "gauge",
+            "1 when this instance's chained crash handlers are installed.",
+        );
+        let _ = writeln!(
+            o,
+            "lfmalloc_crash_handler_installed {}",
+            u8::from(this.crash_handler_installed())
+        );
+    }
 
     // Latency histograms, one family per operation, path as a label.
     let l = &s.latency;

@@ -107,6 +107,12 @@ pub enum EventKind {
     /// Child-side fork recovery completed; `arg` is the number of
     /// orphaned hazard records adopted (see [`crate::fork`]).
     ChildRecover,
+    /// A black-box crash report was emitted (recorded by the forensics
+    /// test hooks, never from the signal handler itself — the event
+    /// ring records a timestamp, which is not async-signal-safe).
+    CrashReport,
+    /// A post-mortem heap dump was written; `arg` is the dump version.
+    HeapDump,
 }
 
 impl EventKind {
@@ -122,6 +128,8 @@ impl EventKind {
             EventKind::Maintain => "maintain",
             EventKind::Fork => "fork",
             EventKind::ChildRecover => "child-recover",
+            EventKind::CrashReport => "crash-report",
+            EventKind::HeapDump => "heap-dump",
         }
     }
 }
@@ -171,13 +179,22 @@ impl EventRing {
             self.dropped.inc();
             return;
         };
+        // Evict-then-push, retried enough to ride out a retire storm:
+        // with only a couple of attempts, racing writers each evict an
+        // event and then lose the push to a neighbour, so a burst both
+        // drops thousands of events and leaves the ring far below
+        // capacity (every double-failure removes two events and inserts
+        // none). Eight attempts make that outcome vanishingly rare
+        // while still bounding the worst case; this path only runs on
+        // slow-path events, never on the malloc/free fast path.
         let mut ev = ev;
-        for _ in 0..2 {
+        for _ in 0..8 {
             match ring.push(ev) {
                 Ok(()) => return,
                 Err(back) => {
                     ev = back;
                     let _ = ring.pop(); // evict the oldest
+                    core::hint::spin_loop();
                 }
             }
         }

@@ -94,11 +94,16 @@ impl<const SHIFT: u32, const OFFSET: usize> TaggedStack<SHIFT, OFFSET> {
                 return None;
             }
             // The region may be concurrently owned by someone who won an
-            // earlier race; the atomic load makes that benign, the tag
-            // check makes it harmless.
+            // earlier race and have been overwritten with arbitrary
+            // bytes; the atomic load makes reading it benign, and the
+            // tag check makes the value harmless: if the region left the
+            // stack, the tag moved and the CAS below must fail. The
+            // masked pack keeps the garbage representable instead of
+            // tripping `pack`'s alignment assert on a value the CAS is
+            // about to reject anyway.
             let next =
                 unsafe { &*((head.addr() + OFFSET) as *const AtomicUsize) }.load(Ordering::Relaxed);
-            let new = head.with_addr(next).bump_tag();
+            let new = head.with_addr_masked(next).bump_tag();
             match self.head.compare_exchange_weak(
                 head.raw(),
                 new.raw(),
@@ -345,6 +350,60 @@ mod tests {
             unsafe { free_region(r) };
         }
         assert_eq!(drained, REGIONS, "regions lost or duplicated");
+    }
+
+    #[test]
+    fn tagged_pop_survives_owner_scribbling_link_word() {
+        // Regression test for a debug-only crash: a racing `pop` reads
+        // the link word of a region whose new owner has already
+        // overwritten it with arbitrary (misaligned, non-canonical)
+        // bytes. The tag-checked CAS rejects the stale value by design,
+        // but the speculative `TagPtr` built from it used to trip
+        // `pack`'s alignment assert before the CAS could fail. Owners
+        // here scribble worst-case garbage into the first word the
+        // moment they get a region, making the read-garbage window easy
+        // to hit.
+        const REGIONS: usize = 8;
+        const OPS: usize = 20_000;
+        let s = Arc::new(TaggedStack::<SHIFT>::new());
+        let regions: Vec<usize> = (0..REGIONS).map(|_| alloc_region()).collect();
+        for &r in &regions {
+            unsafe { s.push(r) };
+        }
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let mut x = 0x9E37_79B9_7F4A_7C15u64 ^ t;
+                for _ in 0..OPS {
+                    if let Some(r) = unsafe { s.pop() } {
+                        // Owner's prerogative: the region is ours now, and
+                        // real users overwrite it immediately. Misaligned
+                        // and top-bit-heavy patterns are the ones the
+                        // assert choked on.
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        unsafe {
+                            (*(r as *const AtomicUsize))
+                                .store(x as usize | 0x3, Ordering::Relaxed);
+                        }
+                        unsafe { s.push(r) };
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut drained = 0;
+        while unsafe { s.pop() }.is_some() {
+            drained += 1;
+        }
+        assert_eq!(drained, REGIONS, "regions lost or duplicated");
+        for r in regions {
+            unsafe { free_region(r) };
+        }
     }
 
     // ---- HpStack ----

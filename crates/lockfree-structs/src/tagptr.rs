@@ -56,6 +56,32 @@ impl<const SHIFT: u32> TagPtr<SHIFT> {
         TagPtr((((addr as u64) >> SHIFT) << Self::TAG_BITS) | (tag & Self::TAG_MASK))
     }
 
+    /// Packs a *possibly garbage* address read through a benign race,
+    /// masking it to alignment and [`ADDR_BITS`] instead of asserting.
+    ///
+    /// `TaggedStack::pop` reads the link word of a region that a racing
+    /// pop may already own and have overwritten with arbitrary bytes;
+    /// the algorithm stays correct because the tag-checked CAS fails
+    /// whenever that happened. The speculative value built from the
+    /// garbage must therefore be *representable*, not *valid* — it is
+    /// only ever handed to a CAS that is guaranteed to reject it, and
+    /// never dereferenced. Release-mode [`pack`](Self::pack) already
+    /// drops the same bits via shifting; this makes the debug build
+    /// match instead of dying on an assert the design explicitly
+    /// tolerates.
+    #[inline]
+    pub fn pack_masked(addr: usize, tag: u64) -> Self {
+        let clean = addr & !((1usize << SHIFT) - 1) & ((1usize << ADDR_BITS) - 1);
+        Self::pack(clean, tag)
+    }
+
+    /// [`with_addr`](Self::with_addr) for racy reads: masks instead of
+    /// asserting (see [`pack_masked`](Self::pack_masked)).
+    #[inline]
+    pub fn with_addr_masked(self, addr: usize) -> Self {
+        Self::pack_masked(addr, self.tag())
+    }
+
     /// Reinterprets a raw packed word (e.g. loaded from an `AtomicU64`).
     #[inline]
     pub const fn from_raw(raw: u64) -> Self {

@@ -398,6 +398,50 @@ pub mod sys {
             parent: Option<extern "C" fn()>,
             child: Option<extern "C" fn()>,
         ) -> i32;
+        /// `write(2)` — the only output primitive that is
+        /// async-signal-safe; crash reporters must use nothing else.
+        pub fn write(fd: i32, buf: *const u8, len: usize) -> isize;
+        /// `sigaction(2)` against the glibc `struct sigaction` layout
+        /// mirrored by [`SigAction`]. Used to install `SA_SIGINFO`
+        /// crash handlers while capturing the previous disposition for
+        /// chaining.
+        pub fn sigaction(sig: i32, act: *const SigAction, old: *mut SigAction) -> i32;
+        /// `atexit(3)` — registers a normal-exit hook (leak reports).
+        pub fn atexit(cb: extern "C" fn()) -> i32;
+    }
+
+    /// glibc's `struct sigaction` on Linux: handler word, 1024-bit
+    /// signal mask, flags, restorer. Zero-initialised is a valid empty
+    /// mask. `sa_sigaction` holds either a function address or
+    /// `SIG_DFL`/`SIG_IGN` (0/1).
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct SigAction {
+        pub sa_sigaction: usize,
+        pub sa_mask: [u64; 16],
+        pub sa_flags: i32,
+        pub sa_restorer: usize,
+    }
+
+    impl SigAction {
+        /// An empty (all-default) action with the given handler word
+        /// and flags.
+        pub fn new(handler: usize, flags: i32) -> Self {
+            SigAction { sa_sigaction: handler, sa_mask: [0; 16], sa_flags: flags, sa_restorer: 0 }
+        }
+    }
+
+    /// The prefix of Linux's `siginfo_t` that crash handlers need:
+    /// `si_addr` (the faulting address for SIGSEGV/SIGBUS) lives at
+    /// offset 16 on 64-bit Linux, after signo/errno/code + padding.
+    #[repr(C)]
+    pub struct SigInfo {
+        pub si_signo: i32,
+        pub si_errno: i32,
+        pub si_code: i32,
+        _pad: i32,
+        pub si_addr: usize,
+        _rest: [u64; 13],
     }
 
     /// `waitpid` option: return immediately when no child has exited.
@@ -406,6 +450,14 @@ pub mod sys {
     pub const SIGUSR1: i32 = 10;
     /// `SIGKILL`.
     pub const SIGKILL: i32 = 9;
+    /// `SIGABRT` — raised by `abort(3)`/Rust `panic=abort`.
+    pub const SIGABRT: i32 = 6;
+    /// `SIGBUS` on Linux.
+    pub const SIGBUS: i32 = 7;
+    /// `SIGSEGV` on Linux.
+    pub const SIGSEGV: i32 = 11;
+    /// `sigaction` flag: deliver the 3-argument `SA_SIGINFO` handler.
+    pub const SA_SIGINFO: i32 = 4;
 
     /// Decodes a `waitpid` status: `Some(code)` if the child exited
     /// normally (the `WIFEXITED`/`WEXITSTATUS` pair).
@@ -415,6 +467,13 @@ pub mod sys {
         } else {
             None
         }
+    }
+
+    /// Decodes a `waitpid` status: `Some(signal)` if the child was
+    /// killed by a signal (the `WIFSIGNALED`/`WTERMSIG` pair).
+    pub fn term_signal(status: i32) -> Option<i32> {
+        let sig = status & 0x7f;
+        if sig != 0 && sig != 0x7f { Some(sig) } else { None }
     }
 }
 

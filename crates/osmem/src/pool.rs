@@ -174,6 +174,20 @@ impl<const SHIFT: u32> PagePool<SHIFT> {
         None
     }
 
+    /// Calls `f` with each hyperblock's `(base, bytes)` extent without
+    /// allocating — the crash-forensics variant of
+    /// [`hyperblocks`](Self::hyperblocks), usable from a signal handler
+    /// (the registry walk is the same lock-free chain as
+    /// [`owning_region`](Self::owning_region)).
+    pub fn for_each_region(&self, mut f: impl FnMut(usize, usize)) {
+        let mut p = self.hypers.load(Ordering::Acquire);
+        while !p.is_null() {
+            let rec = unsafe { &*p };
+            f(rec.base as usize, rec.bytes);
+            p = rec.next;
+        }
+    }
+
     /// Snapshot of the hyperblock registry as `(base, bytes)` pairs.
     /// The registry is append-only until [`release_all`](Self::release_all),
     /// so a concurrent call sees a valid prefix of registrations.

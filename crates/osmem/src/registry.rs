@@ -160,6 +160,28 @@ impl SpanRegistry {
         None
     }
 
+    /// Calls `f` with every registered `(base, bytes)` span without
+    /// allocating (heap-dump and crash-report enumeration). Same
+    /// best-effort tolerance of concurrent slot recycling as
+    /// [`span_containing`](Self::span_containing): a torn pair is
+    /// skipped, a settled span is always visited.
+    pub fn for_each(&self, mut f: impl FnMut(usize, usize)) {
+        let mut seg = self.head.load(Ordering::Acquire);
+        while !seg.is_null() {
+            let s = unsafe { &*seg };
+            for slot in &s.slots {
+                let base = slot.base.load(Ordering::Acquire);
+                if base != 0 {
+                    let bytes = slot.bytes.load(Ordering::Acquire);
+                    if slot.base.load(Ordering::Acquire) == base {
+                        f(base, bytes);
+                    }
+                }
+            }
+            seg = s.next;
+        }
+    }
+
     /// Number of spans currently registered.
     pub fn len(&self) -> usize {
         self.len.load(Ordering::Acquire)

@@ -531,11 +531,37 @@ fn demo() {
     // embedded profile carries the demo's retention sites, then clean
     // up and print it last, by convention.
     let record = a.as_ref().stats().to_json();
+
+    // With forensics on, also write a post-mortem heap dump while the
+    // leak is live — `lfstat analyze <path>` should rank site B first.
+    #[cfg(feature = "forensics")]
+    {
+        let path = std::env::temp_dir().join("lfstat-demo.heapdump.json");
+        a.as_ref().dump_heap(&path).expect("heap dump");
+        println!("\nHeap dump written to {} (try: lfstat analyze {})", path.display(), path.display());
+    }
+
     for p in leaked {
         unsafe { a.free(p as *mut u8) };
     }
     println!();
     println!("{record}");
+}
+
+/// Reads a whole dump file (`-` for stdin). Heap dumps are one JSON
+/// document, not a JSON-lines record, so this does not reuse
+/// `load_record`'s last-line convention.
+#[cfg(feature = "forensics")]
+fn load_dump(path: &str) -> String {
+    use std::io::Read;
+    let mut text = String::new();
+    if path == "-" {
+        std::io::stdin().read_to_string(&mut text).expect("read stdin");
+    } else {
+        text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| { eprintln!("lfstat: {path}: {e}"); std::process::exit(2) });
+    }
+    text
 }
 
 fn usage() -> ! {
@@ -544,6 +570,8 @@ fn usage() -> ! {
          \x20      lfstat print FILE           pretty-print a stats-JSON record\n\
          \x20      lfstat diff A B             diff two stats-JSON records\n\
          \x20      lfstat top N FILE           top-N retention sites\n\
+         \x20      lfstat analyze DUMP         analyze a heap dump (forensics builds)\n\
+         \x20      lfstat diff-heap A B        diff two heap dumps (forensics builds)\n\
          FILE may be `-` for stdin; the last JSON line of the file is used."
     );
     std::process::exit(2);
@@ -558,6 +586,27 @@ fn main() {
         ["top", n, file] => {
             let n: usize = n.parse().unwrap_or_else(|_| usage());
             print_sites(&load_record(file), n);
+        }
+        #[cfg(feature = "forensics")]
+        ["analyze", dump] => match lfmalloc::analyze_dump(&load_dump(dump)) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("lfstat: {e}");
+                std::process::exit(1);
+            }
+        },
+        #[cfg(feature = "forensics")]
+        ["diff-heap", a, b] => match lfmalloc::diff_dumps(&load_dump(a), &load_dump(b)) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("lfstat: {e}");
+                std::process::exit(1);
+            }
+        },
+        #[cfg(not(feature = "forensics"))]
+        ["analyze", ..] | ["diff-heap", ..] => {
+            eprintln!("lfstat: this build lacks heap-dump support; rebuild with --features forensics");
+            std::process::exit(2);
         }
         _ => usage(),
     }

@@ -54,6 +54,11 @@ pub mod prelude {
     pub use ptmalloc::Ptmalloc;
     #[cfg(feature = "stats")]
     pub use lfmalloc::{ClassStats, Event, EventKind, StatsSnapshot};
+    #[cfg(feature = "forensics")]
+    pub use lfmalloc::{
+        analyze_dump, diff_dumps, AnalyzeReport, DiffReport, FlightOp, ForensicsParams, OpKind,
+        PtrKind, PtrReport,
+    };
 }
 
 #[cfg(test)]
